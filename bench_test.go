@@ -1,0 +1,189 @@
+package repro
+
+// Benchmarks: one per paper table/figure, each driving the experiment
+// runner that regenerates it, plus micro-benchmarks of the expensive
+// pipeline stages (page generation, page load, list build).
+//
+// The figure benchmarks share one reduced-scale corpus (120 sites,
+// 10 URLs each, 3 fetches per landing page); the first benchmark that
+// needs the study pays for it outside its timing loop. Run
+// cmd/papereval for full-scale (1000-site) numbers.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/cdn"
+	"repro/internal/dnssim"
+	"repro/internal/experiments"
+	"repro/internal/hispar"
+	"repro/internal/search"
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+)
+
+func sharedCtx(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCtx = experiments.NewContext(experiments.Config{
+			Seed:              42,
+			Sites:             120,
+			PerSite:           10,
+			LandingFetches:    3,
+			CrawlPages:        600,
+			CrawlSample:       120,
+			StabilityUniverse: 30000,
+			StabilityWeeks:    3,
+			H2KSites:          150,
+			H2KPerSite:        20,
+			DNSProbeTop:       2000,
+		})
+	})
+	return benchCtx
+}
+
+func benchExperiment(b *testing.B, id string) {
+	ctx := sharedCtx(b)
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	// Warm the shared corpus (study, lists) outside the timing loop.
+	if _, err := exp.Run(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per table/figure (§2–§7) ---
+
+func BenchmarkTable1(b *testing.B)     { benchExperiment(b, "table1") }
+func BenchmarkFig2a(b *testing.B)      { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B)      { benchExperiment(b, "fig2b") }
+func BenchmarkFig2c(b *testing.B)      { benchExperiment(b, "fig2c") }
+func BenchmarkFig3a(b *testing.B)      { benchExperiment(b, "fig3a") }
+func BenchmarkFig3bc(b *testing.B)     { benchExperiment(b, "fig3bc") }
+func BenchmarkFig4a(b *testing.B)      { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B)      { benchExperiment(b, "fig4b") }
+func BenchmarkFig4c(b *testing.B)      { benchExperiment(b, "fig4c") }
+func BenchmarkFig5(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkDNSHitRate(b *testing.B) { benchExperiment(b, "dns") }
+func BenchmarkFig6a(b *testing.B)      { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)      { benchExperiment(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B)      { benchExperiment(b, "fig6c") }
+func BenchmarkFig7(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8a(b *testing.B)      { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)      { benchExperiment(b, "fig8b") }
+func BenchmarkFig8c(b *testing.B)      { benchExperiment(b, "fig8c") }
+func BenchmarkFig9(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10ab(b *testing.B)    { benchExperiment(b, "fig10ab") }
+func BenchmarkFig10c(b *testing.B)     { benchExperiment(b, "fig10c") }
+func BenchmarkStability(b *testing.B)  { benchExperiment(b, "stability") }
+func BenchmarkListCost(b *testing.B)   { benchExperiment(b, "cost") }
+
+// BenchmarkAblation drives the what-if evaluation of the paper's §5
+// implications (every optimization scenario over both page types).
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkSelection drives the §7 page-selection strategy comparison.
+func BenchmarkSelection(b *testing.B) { benchExperiment(b, "selection") }
+
+// BenchmarkLearning drives the §7 learned-model transfer-gap experiment.
+func BenchmarkLearning(b *testing.B) { benchExperiment(b, "learning") }
+
+// --- Pipeline micro-benchmarks ---
+
+func benchWeb(b *testing.B, n int) *webgen.Web {
+	b.Helper()
+	u := toplist.NewUniverse(toplist.Config{Seed: 7, Size: 2000})
+	entries := u.Top(n)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	return webgen.Generate(webgen.Config{Seed: 7, Sites: seeds})
+}
+
+// BenchmarkPageBuild measures synthetic page-model generation.
+func BenchmarkPageBuild(b *testing.B) {
+	web := benchWeb(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		site := web.Sites[i%len(web.Sites)]
+		_ = site.PageAt(1 + i%20).Build()
+	}
+}
+
+// BenchmarkPageLoad measures one full simulated cold-cache page load
+// (DNS, handshakes, dependency-ordered fetches, HAR assembly).
+func BenchmarkPageLoad(b *testing.B) {
+	web := benchWeb(b, 16)
+	resolver := dnssim.NewResolver(dnssim.ResolverConfig{
+		Name: "isp", Seed: 7, WarmQueryRate: 0.8,
+	}, web.Authority(), nil)
+	warm := cdn.PopularityWarmth(2.2, 0.97)
+	br, err := browser.New(browser.Config{
+		Seed:     7,
+		Resolver: resolver,
+		CDNFactory: func() *cdn.Network {
+			return cdn.NewNetwork(1<<14, warm, 7)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := make([]*webgen.PageModel, len(web.Sites))
+	for i, s := range web.Sites {
+		models[i] = s.Landing().Build()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Load(models[i%len(models)], i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHisparBuild measures list construction over the search engine.
+func BenchmarkHisparBuild(b *testing.B) {
+	u := toplist.NewUniverse(toplist.Config{Seed: 7, Size: 2000})
+	entries := u.Top(80)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: 7, Sites: seeds})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := search.New(web, search.Config{EnglishOnly: true})
+		if _, _, err := hispar.Build(eng, entries, hispar.BuildConfig{
+			Sites: 50, URLsPerSite: 20, MinResults: 5,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkToplistWeek measures one week of top-list drift plus a
+// 5K-snapshot.
+func BenchmarkToplistWeek(b *testing.B) {
+	u := toplist.NewUniverse(toplist.Config{Seed: 7, Size: 50000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Step(7)
+		_ = u.Top(5000)
+	}
+}

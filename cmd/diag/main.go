@@ -1,0 +1,97 @@
+// Command diag is a development diagnostic: it breaks one site's landing
+// and internal page loads into timing components to support calibration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/cdn"
+	"repro/internal/dnssim"
+	"repro/internal/har"
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 42, "seed")
+		nSite = flag.Int("n", 10, "sites to diagnose")
+		rate  = flag.Float64("rate", 2.2, "cdn warmth rate")
+	)
+	flag.Parse()
+
+	u := toplist.NewUniverse(toplist.Config{Seed: *seed, Size: 4000})
+	entries := u.Top(*nSite)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: *seed, Sites: seeds})
+	resolver := dnssim.NewResolver(dnssim.ResolverConfig{Name: "isp", Seed: *seed, WarmQueryRate: 0.8}, web.Authority(), nil)
+	warm := cdn.PopularityWarmth(*rate, 0.97)
+	b, err := browser.New(browser.Config{
+		Seed:     *seed,
+		Resolver: resolver,
+		CDNFactory: func() *cdn.Network {
+			return cdn.NewNetwork(1<<14, warm, *seed)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	describe := func(tag string, m *webgen.PageModel) {
+		log, err := b.Load(m, 0)
+		if err != nil {
+			panic(err)
+		}
+		var rootTime, maxBlock, hsTotal, waitTotal time.Duration
+		blocking, cdnHits, cdnTotal := 0, 0, 0
+		for i, e := range log.Entries {
+			o := m.Objects[i]
+			if i == 0 {
+				rootTime = e.Time
+			}
+			if o.RenderBlocking {
+				blocking++
+				end := e.StartedAt.Add(e.Time).Sub(log.Page.NavigationStart)
+				if end > maxBlock {
+					maxBlock = end
+				}
+			}
+			if e.Timings.NewConnection() {
+				hsTotal += e.Timings.Handshake()
+			}
+			waitTotal += e.Timings.Wait
+			if o.ViaCDN != "" {
+				cdnTotal++
+				if e.Response.HeaderValue("X-Cache") == "HIT" {
+					cdnHits++
+				}
+			}
+		}
+		hitRate := 0.0
+		if cdnTotal > 0 {
+			hitRate = float64(cdnHits) / float64(cdnTotal)
+		}
+		fmt.Printf("  %-8s PLT=%-8v SI=%-8v root=%-8v maxBlockEnd=%-8v nblock=%-3d objs=%-4d bytes=%.1fMB hit=%.2f\n",
+			tag, log.Page.Timings.FirstPaint.Round(time.Millisecond),
+			log.Page.Timings.SpeedIndex.Round(time.Millisecond),
+			rootTime.Round(time.Millisecond), maxBlock.Round(time.Millisecond),
+			blocking, len(log.Entries), float64(log.TotalBytes())/1e6, hitRate)
+		_ = har.Timings{}
+	}
+
+	for _, s := range web.Sites {
+		fmt.Printf("site %s rank=%d cat=%s pop=%.2f boost=%.2f blockCSS=%.2f asyncL=%.2f\n",
+			s.Domain, s.Rank, s.Category, s.Popularity(), s.Profile.LandingPopBoost,
+			s.Profile.BlockingCSSLanding, s.Profile.AsyncJSLanding)
+		describe("landing", s.Landing().Build())
+		for i := 1; i <= 3; i++ {
+			describe(fmt.Sprintf("int%d", i), s.PageAt(i).Build())
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command haranalyze runs the study's analysis stack over a directory of
+// HAR files — the released-analysis-scripts side of the paper's
+// artifact. Landing pages (root documents) and internal pages are split
+// by URL, per-page metrics are printed as CSV, and the landing-vs-
+// internal aggregate comparison is summarized on stderr.
+//
+// Pair it with webmeasure:
+//
+//	webmeasure -sites 20 -har hars/
+//	haranalyze -dir hars/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/adblock"
+	"repro/internal/cdndetect"
+	"repro/internal/core"
+	"repro/internal/har"
+	"repro/internal/psl"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "directory of .har.json files (required)")
+		filters = flag.String("filters", "", "optional Easylist-format filter file for tracker counting")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "haranalyze: -dir is required")
+		os.Exit(2)
+	}
+
+	az := core.Analyzers{PSL: psl.Default(), CDN: cdndetect.New(nil)}
+	if *filters != "" {
+		data, err := os.ReadFile(*filters)
+		fatal(err)
+		engine, skipped := adblock.Compile(strings.Split(string(data), "\n"))
+		fmt.Fprintf(os.Stderr, "compiled %d filter rules (%d skipped)\n", engine.Len(), skipped)
+		az.Adblock = engine
+	}
+
+	paths, err := filepath.Glob(filepath.Join(*dir, "*.har.json"))
+	fatal(err)
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "haranalyze: no .har.json files in %s\n", *dir)
+		os.Exit(1)
+	}
+	sort.Strings(paths)
+
+	var landing, internal []core.PageMeasurement
+	fmt.Println("url,page_type,bytes,objects,plt_ms,onload_ms,noncacheable,cdn_bytes,domains,handshakes,trackers,depth2plus")
+	for _, p := range paths {
+		f, err := os.Open(p)
+		fatal(err)
+		log, err := har.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "haranalyze: skipping %s: %v\n", p, err)
+			continue
+		}
+		m := core.MeasureHAR(log, az)
+		kind := "internal"
+		if m.IsLanding {
+			kind = "landing"
+			landing = append(landing, m)
+		} else {
+			internal = append(internal, m)
+		}
+		deep := 0
+		for d := 2; d < len(m.DepthCounts); d++ {
+			deep += m.DepthCounts[d]
+		}
+		fmt.Printf("%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			m.URL, kind, m.Bytes, m.Objects, m.PLT.Milliseconds(), m.OnLoad.Milliseconds(),
+			m.NonCacheable, m.CDNBytes, m.UniqueDomains, m.Handshakes, m.TrackerRequests, deep)
+	}
+
+	summarize := func(ms []core.PageMeasurement, f func(*core.PageMeasurement) float64) (float64, float64) {
+		var xs []float64
+		for i := range ms {
+			xs = append(xs, f(&ms[i]))
+		}
+		return stats.Median(xs), stats.Quantile(xs, 0.9)
+	}
+	if len(landing) > 0 && len(internal) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d landing pages, %d internal pages\n", len(landing), len(internal))
+		for _, row := range []struct {
+			name string
+			f    func(*core.PageMeasurement) float64
+		}{
+			{"bytes", func(m *core.PageMeasurement) float64 { return float64(m.Bytes) }},
+			{"objects", func(m *core.PageMeasurement) float64 { return float64(m.Objects) }},
+			{"plt_ms", func(m *core.PageMeasurement) float64 { return float64(m.PLT.Milliseconds()) }},
+			{"domains", func(m *core.PageMeasurement) float64 { return float64(m.UniqueDomains) }},
+			{"handshakes", func(m *core.PageMeasurement) float64 { return float64(m.Handshakes) }},
+		} {
+			lm, lp90 := summarize(landing, row.f)
+			im, ip90 := summarize(internal, row.f)
+			fmt.Fprintf(os.Stderr, "%-11s landing median %.0f (p90 %.0f)  internal median %.0f (p90 %.0f)\n",
+				row.name, lm, lp90, im, ip90)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haranalyze: %v\n", err)
+		os.Exit(1)
+	}
+}

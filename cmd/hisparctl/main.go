@@ -1,0 +1,152 @@
+// Command hisparctl builds, refreshes, and analyzes Hispar lists over the
+// simulated web — the open-source tooling analogue the paper releases
+// (§3): create a list from a top-list bootstrap and search-engine
+// discovery, write it in the public CSV format, regenerate weekly
+// snapshots, and compute the two-level churn.
+//
+// Usage:
+//
+//	hisparctl build -sites 2000 -persite 50 -out h2k.csv
+//	hisparctl weekly -weeks 10 -sites 500 -persite 20
+//	hisparctl churn -a week0.csv -b week1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hispar"
+	"repro/internal/search"
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		cmdBuild(os.Args[2:])
+	case "weekly":
+		cmdWeekly(os.Args[2:])
+	case "churn":
+		cmdChurn(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hisparctl {build|weekly|churn} [flags]")
+	os.Exit(2)
+}
+
+func buildList(seed int64, week, sites, perSite, minResults, universe int) (*hispar.List, hispar.BuildStats) {
+	u := toplist.NewUniverse(toplist.Config{Seed: seed, Size: universe})
+	u.Step(week * 7)
+	bootstrap := u.Top(sites * 7 / 5)
+	seeds := make([]webgen.SiteSeed, len(bootstrap))
+	for i, e := range bootstrap {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: seed, Week: week, Sites: seeds})
+	eng := search.New(web, search.Config{EnglishOnly: true})
+	list, stats, err := hispar.Build(eng, bootstrap, hispar.BuildConfig{
+		Sites:       sites,
+		URLsPerSite: perSite,
+		MinResults:  minResults,
+		Week:        week,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hisparctl: %v\n", err)
+		os.Exit(1)
+	}
+	return list, stats
+}
+
+func cmdBuild(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	var (
+		seed       = fs.Int64("seed", 42, "RNG seed")
+		week       = fs.Int("week", 0, "snapshot week")
+		sites      = fs.Int("sites", 2000, "number of web sites")
+		perSite    = fs.Int("persite", 50, "URLs per site (incl. landing page)")
+		minResults = fs.Int("minresults", 10, "drop sites with fewer search results")
+		universe   = fs.Int("universe", 20000, "top-list universe size")
+		out        = fs.String("out", "", "output CSV path (default stdout)")
+	)
+	_ = fs.Parse(args)
+	list, stats := buildList(*seed, *week, *sites, *perSite, *minResults, *universe)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hisparctl: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := list.WriteCSV(w); err != nil {
+		fmt.Fprintf(os.Stderr, "hisparctl: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "built %s: %d sites, %d pages; %d sites examined, %d dropped; %d queries ($%.2f)\n",
+		list.Name, len(list.Sets), list.Pages(), stats.SitesExamined, stats.SitesDropped, stats.Queries, stats.CostUSD)
+}
+
+func cmdWeekly(args []string) {
+	fs := flag.NewFlagSet("weekly", flag.ExitOnError)
+	var (
+		seed       = fs.Int64("seed", 42, "RNG seed")
+		weeks      = fs.Int("weeks", 10, "number of weekly snapshots")
+		sites      = fs.Int("sites", 500, "sites per list")
+		perSite    = fs.Int("persite", 20, "URLs per site")
+		minResults = fs.Int("minresults", 5, "drop threshold")
+		universe   = fs.Int("universe", 20000, "top-list universe size")
+	)
+	_ = fs.Parse(args)
+	var prev *hispar.List
+	for w := 0; w < *weeks; w++ {
+		list, _ := buildList(*seed, w, *sites, *perSite, *minResults, *universe)
+		if prev != nil {
+			fmt.Printf("week %d: site churn %.3f, internal-URL churn %.3f\n",
+				w, hispar.SiteChurn(prev, list), hispar.InternalChurn(prev, list))
+		}
+		prev = list
+	}
+}
+
+func cmdChurn(args []string) {
+	fs := flag.NewFlagSet("churn", flag.ExitOnError)
+	var (
+		a = fs.String("a", "", "first list CSV")
+		b = fs.String("b", "", "second list CSV")
+	)
+	_ = fs.Parse(args)
+	if *a == "" || *b == "" {
+		fmt.Fprintln(os.Stderr, "hisparctl churn: -a and -b are required")
+		os.Exit(2)
+	}
+	la := readList(*a)
+	lb := readList(*b)
+	fmt.Printf("site churn: %.3f\n", hispar.SiteChurn(la, lb))
+	fmt.Printf("internal-URL churn: %.3f\n", hispar.InternalChurn(la, lb))
+}
+
+func readList(path string) *hispar.List {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hisparctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	l, err := hispar.ReadCSV(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hisparctl: %v\n", err)
+		os.Exit(1)
+	}
+	return l
+}

@@ -1,0 +1,99 @@
+// Command papereval regenerates every table and figure of the paper's
+// evaluation from the simulated substrates and prints paper-vs-measured
+// rows. Use -exp to select a subset, -sites/-fetches to scale the study.
+//
+// Example:
+//
+//	papereval -sites 1000 -fetches 10 > results.txt
+//	papereval -exp fig2a,fig2c -sites 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/asciiplot"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 42, "root RNG seed")
+		sites   = flag.Int("sites", 1000, "H1K-style list size")
+		perSite = flag.Int("persite", 20, "URLs per site (1 landing + N-1 internal)")
+		fetches = flag.Int("fetches", 10, "fetches per landing page")
+		expList = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		weeks   = flag.Int("weeks", 10, "stability experiment weeks")
+		uniSize = flag.Int("universe", 130000, "stability universe size")
+		h2k     = flag.Int("h2ksites", 2000, "H2K list size (stability/cost)")
+		crawlN  = flag.Int("crawl", 5000, "exhaustive-crawl pages per site")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		plot    = flag.Bool("plot", false, "render each report's series as ASCII charts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ctx := experiments.NewContext(experiments.Config{
+		Seed:              *seed,
+		Sites:             *sites,
+		PerSite:           *perSite,
+		LandingFetches:    *fetches,
+		StabilityWeeks:    *weeks,
+		StabilityUniverse: *uniSize,
+		H2KSites:          *h2k,
+		CrawlPages:        *crawlN,
+	})
+
+	var selected []experiments.Experiment
+	if *expList == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "papereval: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		rep, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "papereval: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(rep.String())
+		if *plot && len(rep.Series) > 0 {
+			names := make([]string, 0, len(rep.Series))
+			for n := range rep.Series {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			series := make([]asciiplot.Series, 0, len(names))
+			for _, n := range names {
+				series = append(series, asciiplot.Series{Name: n, Points: rep.Series[n]})
+			}
+			fmt.Print(asciiplot.Render(series, asciiplot.Options{XLabel: rep.Title}))
+		}
+		fmt.Printf("-- %s completed in %v --\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// Command probe is a development tool: it prints ground-truth model
+// statistics (CDN byte fractions, popularity tiers) to support
+// calibration of the synthetic web.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+func cdnFrac(m *webgen.PageModel) float64 {
+	var cdn, total int64
+	for _, o := range m.Objects {
+		total += o.Size
+		if o.ViaCDN != "" {
+			cdn += o.Size
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cdn) / float64(total)
+}
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 42, "seed")
+		n    = flag.Int("n", 200, "sites")
+	)
+	flag.Parse()
+	u := toplist.NewUniverse(toplist.Config{Seed: *seed, Size: 4000})
+	entries := u.Top(*n)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: *seed, Sites: seeds})
+	var ratioSamples []float64
+	pos := 0
+	for _, s := range web.Sites {
+		lf := cdnFrac(s.Landing().Build())
+		var ifs []float64
+		for i := 1; i <= 9; i++ {
+			ifs = append(ifs, cdnFrac(s.PageAt(i).Build()))
+		}
+		sort.Float64s(ifs)
+		med := ifs[len(ifs)/2]
+		if med > 0 {
+			ratioSamples = append(ratioSamples, lf/med)
+			if lf > med {
+				pos++
+			}
+		}
+	}
+	sort.Float64s(ratioSamples)
+	fmt.Printf("ground-truth CDN frac ratio: median=%.2f fracHigher=%.2f n=%d\n",
+		ratioSamples[len(ratioSamples)/2], float64(pos)/float64(len(ratioSamples)), len(ratioSamples))
+}

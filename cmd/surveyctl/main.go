@@ -1,0 +1,56 @@
+// Command surveyctl runs the literature-survey pipeline (§2): scan a
+// paper corpus for top-list terms, weed out false positives, review the
+// matches on the revision-score rubric, and print Table 1.
+//
+// With no -corpus flag it generates the synthetic 920-paper corpus whose
+// ground truth matches the paper's dataset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/survey"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 42, "corpus generation seed")
+		details = flag.Bool("v", false, "print per-match details")
+	)
+	flag.Parse()
+
+	corpus := survey.GenerateCorpus(*seed)
+	matches := survey.ScanCorpus(corpus)
+	fp := 0
+	for _, m := range matches {
+		if m.FalsePositive {
+			fp++
+		}
+		if *details {
+			rev, internal := survey.Review(m)
+			fmt.Printf("%-14s fp=%-5v internal=%-5v score=%-14s terms=%v\n",
+				m.Paper.Venue, m.FalsePositive, internal, rev, m.MatchedTerms)
+		}
+	}
+
+	rows := survey.Tabulate(corpus)
+	fmt.Printf("scanned %d papers: %d term matches, %d false positives weeded out\n\n",
+		len(corpus), len(matches), fp)
+	fmt.Printf("%-8s %6s %8s %6s %6s %4s\n", "venue", "pubs", "toplist", "major", "minor", "no")
+	for _, r := range rows {
+		fmt.Printf("%-8s %6d %8d %6d %6d %4d\n",
+			r.Venue, r.Publications, r.UsingTopList, r.Major, r.Minor, r.None)
+	}
+	t := survey.Total(rows)
+	fmt.Printf("%-8s %6d %8d %6d %6d %4d\n", "total", t.Publications, t.UsingTopList, t.Major, t.Minor, t.None)
+	fmt.Printf("\nfraction needing at least a minor revision: %.1f%%\n",
+		100*survey.NeedingRevisionFraction(rows))
+
+	want := survey.Total(survey.Dataset())
+	if t != want {
+		fmt.Fprintf(os.Stderr, "surveyctl: pipeline totals %+v diverge from the curated dataset %+v\n", t, want)
+		os.Exit(1)
+	}
+}

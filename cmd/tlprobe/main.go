@@ -1,0 +1,45 @@
+// Command tlprobe calibrates top-list churn dynamics (dev tool).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/toplist"
+)
+
+func main() {
+	var (
+		size  = flag.Int("size", 350000, "universe size")
+		base  = flag.Float64("base", 0.07, "base volatility")
+		tail  = flag.Float64("tail", 0.10, "tail volatility")
+		rev   = flag.Float64("rev", 0.45, "reversion")
+		drift = flag.Float64("drift", 0.40, "anchor drift")
+	)
+	flag.Parse()
+	u := toplist.NewUniverse(toplist.Config{Seed: 1, Size: *size, BaseVolatility: *base, TailVolatility: *tail, Reversion: *rev, AnchorDrift: *drift})
+	var d5, w5, w100, w560 []float64
+	var p5d, p5w, p100, p560 []toplist.Entry
+	for week := 0; week < 6; week++ {
+		for d := 0; d < 7; d++ {
+			c := u.Top(5000)
+			if p5d != nil {
+				d5 = append(d5, toplist.Churn(p5d, c))
+			}
+			p5d = c
+			u.Step(1)
+		}
+		c5 := u.Top(5000)
+		c100 := u.Top(100000)
+		c560 := u.Top(2800)
+		if p5w != nil {
+			w5 = append(w5, toplist.Churn(p5w, c5))
+			w100 = append(w100, toplist.Churn(p100, c100))
+			w560 = append(w560, toplist.Churn(p560, c560))
+		}
+		p5w, p100, p560 = c5, c100, c560
+	}
+	fmt.Printf("daily5k=%.3f weekly5k=%.3f weekly2800=%.3f weekly100k=%.3f\n",
+		stats.Mean(d5), stats.Mean(w5), stats.Mean(w560), stats.Mean(w100))
+}

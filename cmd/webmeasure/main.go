@@ -1,0 +1,125 @@
+// Command webmeasure fetches the pages of a Hispar list with the
+// simulated browser — cold cache, landing pages fetched repeatedly,
+// internal pages once, exactly the paper's §3.1 methodology — and writes
+// per-page measurements as CSV (or full HAR logs with -har).
+//
+// Usage:
+//
+//	webmeasure -sites 100 -persite 20 -fetches 10 > measurements.csv
+//	webmeasure -sites 5 -har hars/   # one HAR JSON per page
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/cdn"
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/hispar"
+	"repro/internal/search"
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 42, "RNG seed")
+		sites   = flag.Int("sites", 100, "sites to measure")
+		perSite = flag.Int("persite", 20, "URLs per site")
+		fetches = flag.Int("fetches", 10, "fetches per landing page")
+		harDir  = flag.String("har", "", "write HAR JSON files into this directory instead of CSV")
+	)
+	flag.Parse()
+
+	u := toplist.NewUniverse(toplist.Config{Seed: *seed, Size: maxInt(4000, *sites*3)})
+	bootstrap := u.Top(*sites * 7 / 5)
+	seeds := make([]webgen.SiteSeed, len(bootstrap))
+	for i, e := range bootstrap {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: *seed, Sites: seeds})
+	eng := search.New(web, search.Config{EnglishOnly: true})
+	list, _, err := hispar.Build(eng, bootstrap, hispar.BuildConfig{
+		Sites: *sites, URLsPerSite: *perSite, MinResults: 5,
+	})
+	fatal(err)
+
+	if *harDir != "" {
+		writeHARs(web, list, *seed, *harDir)
+		return
+	}
+
+	st, err := core.NewStudy(web, core.StudyConfig{Seed: *seed, LandingFetches: *fetches})
+	fatal(err)
+	res, err := st.Run(list)
+	fatal(err)
+	// The public dataset format (see internal/core WriteMeasurementsCSV).
+	fatal(core.WriteMeasurementsCSV(os.Stdout, res))
+}
+
+// writeHARs fetches each page once and dumps full HAR documents.
+func writeHARs(web *webgen.Web, list *hispar.List, seed int64, dir string) {
+	fatal(os.MkdirAll(dir, 0o755))
+	resolver := dnssim.NewResolver(dnssim.ResolverConfig{
+		Name: "isp", Seed: seed, WarmQueryRate: 0.8,
+	}, web.Authority(), nil)
+	warm := cdn.PopularityWarmth(2.2, 0.97)
+	b, err := browser.New(browser.Config{
+		Seed:     seed,
+		Resolver: resolver,
+		CDNFactory: func() *cdn.Network {
+			return cdn.NewNetwork(1<<14, warm, seed)
+		},
+	})
+	fatal(err)
+	n := 0
+	start := time.Now()
+	for _, set := range list.Sets {
+		urls := append([]string{set.Landing}, set.Internal...)
+		for _, u := range urls {
+			page, ok := web.PageByURL(u)
+			if !ok {
+				continue
+			}
+			model := page.Build()
+			log, err := b.Load(model, 0)
+			fatal(err)
+			name := sanitize(u) + ".har.json"
+			f, err := os.Create(filepath.Join(dir, name))
+			fatal(err)
+			fatal(log.WriteJSON(f))
+			fatal(f.Close())
+			n++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d HAR files to %s in %v\n", n, dir, time.Since(start).Round(time.Millisecond))
+}
+
+func sanitize(u string) string {
+	r := strings.NewReplacer("://", "_", "/", "_", "?", "_", "&", "_", "=", "_")
+	s := r.Replace(u)
+	if len(s) > 150 {
+		s = s[:150]
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "webmeasure: %v\n", err)
+		os.Exit(1)
+	}
+}

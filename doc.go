@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "On Landing and
+// Internal Web Pages: The Strange Case of Jekyll and Hyde in Web
+// Performance Measurement" (Aqeel, Chandrasekaran, Feldmann, Maggs —
+// ACM IMC 2020).
+//
+// The repository builds the paper's artifact — the Hispar two-level top
+// list of landing and internal pages — together with every substrate the
+// measurement study depends on: a synthetic web generator, a virtual-time
+// page-load engine emitting HAR logs and Navigation Timing, DNS/CDN/
+// transport simulators, a search engine with site: queries, an
+// Easylist-syntax filter engine, a public-suffix list, HTTP caching
+// semantics, CDN-attribution heuristics, and the literature-survey
+// pipeline. One experiment runner per paper table/figure regenerates the
+// reported rows; the root-level benchmarks drive them.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured index, and README.md for a tour.
+package repro

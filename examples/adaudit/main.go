@@ -1,0 +1,83 @@
+// adaudit: audit ads and trackers across landing and internal pages
+// (§6.3) — compile the Easylist-syntax filter list, count blocked
+// requests per page type, and detect header-bidding activity, including
+// the sites a landing-page-only crawl would miss entirely.
+//
+//	go run ./examples/adaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hispar"
+	"repro/internal/search"
+	"repro/internal/stats"
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+func main() {
+	const seed = 2021
+	universe := toplist.NewUniverse(toplist.Config{Seed: seed, Size: 3000})
+	bootstrap := universe.Top(160)
+	seeds := make([]webgen.SiteSeed, len(bootstrap))
+	for i, e := range bootstrap {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: seed, Sites: seeds})
+	engine := search.New(web, search.Config{EnglishOnly: true})
+	list, _, err := hispar.Build(engine, bootstrap, hispar.BuildConfig{
+		Sites: 100, URLsPerSite: 10, MinResults: 5, Name: "Haudit",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	study, err := core.NewStudy(web, core.StudyConfig{Seed: seed, LandingFetches: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := study.Run(list)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var l, in []float64
+	hbLanding, hbInternalOnly := 0, 0
+	var hbMissed []string
+	for i := range res.Sites {
+		s := &res.Sites[i]
+		l = append(l, float64(s.Landing.TrackerRequests))
+		internalHB := false
+		for j := range s.Internal {
+			in = append(in, float64(s.Internal[j].TrackerRequests))
+			if s.Internal[j].HasHB {
+				internalHB = true
+			}
+		}
+		switch {
+		case s.Landing.HasHB:
+			hbLanding++
+		case internalHB:
+			hbInternalOnly++
+			hbMissed = append(hbMissed, s.Domain)
+		}
+	}
+	fmt.Printf("tracking requests per page (filter-list matches):\n")
+	fmt.Printf("  landing : median %.0f, p80 %.0f, max %.0f\n",
+		stats.Median(l), stats.Quantile(l, 0.8), stats.Quantile(l, 1))
+	fmt.Printf("  internal: median %.0f, p80 %.0f, max %.0f\n\n",
+		stats.Median(in), stats.Quantile(in, 0.8), stats.Quantile(in, 1))
+
+	fmt.Printf("header bidding: %d sites on the landing page, %d more ONLY on internal pages\n",
+		hbLanding, hbInternalOnly)
+	sort.Strings(hbMissed)
+	if len(hbMissed) > 0 {
+		fmt.Println("a landing-page-only crawl (e.g. the §6.3 prior work) would miss:")
+		for _, d := range hbMissed {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+}

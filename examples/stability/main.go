@@ -1,0 +1,61 @@
+// stability: reproduce the §3 stability analysis interactively — weekly
+// Hispar snapshots over a drifting top-list universe, reporting the
+// two-level churn (sites at the top, internal URLs at the bottom) and
+// the churn of the raw top list it inherits from.
+//
+//	go run ./examples/stability [-weeks 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/hispar"
+	"repro/internal/search"
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+func main() {
+	var (
+		weeks = flag.Int("weeks", 8, "weekly snapshots")
+		sites = flag.Int("sites", 300, "sites per list")
+		seed  = flag.Int64("seed", 2020, "seed")
+	)
+	flag.Parse()
+
+	universe := toplist.NewUniverse(toplist.Config{Seed: *seed, Size: 40000})
+	fmt.Printf("%-6s %-12s %-14s %-14s\n", "week", "list churn", "site churn", "URL churn")
+
+	var prevTop []toplist.Entry
+	var prevList *hispar.List
+	for w := 0; w < *weeks; w++ {
+		bootstrap := universe.Top(*sites * 7 / 5)
+		seeds := make([]webgen.SiteSeed, len(bootstrap))
+		for i, e := range bootstrap {
+			seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+		}
+		web := webgen.Generate(webgen.Config{Seed: *seed, Week: w, Sites: seeds})
+		engine := search.New(web, search.Config{EnglishOnly: true})
+		list, _, err := hispar.Build(engine, bootstrap, hispar.BuildConfig{
+			Sites: *sites, URLsPerSite: 20, MinResults: 5, Week: w,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if prevList != nil {
+			fmt.Printf("%-6d %-12.3f %-14.3f %-14.3f\n",
+				w,
+				toplist.Churn(prevTop, bootstrap),
+				hispar.SiteChurn(prevList, list),
+				hispar.InternalChurn(prevList, list))
+		}
+		prevTop, prevList = bootstrap, list
+		universe.Step(7)
+	}
+	fmt.Println("\nThe top level inherits the bootstrap list's churn; the bottom level")
+	fmt.Println("adds internal-URL churn (~30%/week in the paper) as sites publish new")
+	fmt.Println("content and user attention shifts — arguably a feature: the list")
+	fmt.Println("tracks the changing internal state of the web sites it represents.")
+}

@@ -1,0 +1,96 @@
+// Package asciiplot renders small terminal plots of (x, y) series — the
+// closest an offline CLI gets to the paper's CDF figures. One chart can
+// overlay several series, each with its own glyph.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// Options configures a chart.
+type Options struct {
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	// YLabel and XLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the series into a text chart.
+func Render(series []Series, opts Options) string {
+	opts = opts.withDefaults()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+			minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			col := int((p[0] - minX) / (maxX - minX) * float64(opts.Width-1))
+			row := opts.Height - 1 - int((p[1]-minY)/(maxY-minY)*float64(opts.Height-1))
+			if col >= 0 && col < opts.Width && row >= 0 && row < opts.Height {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opts.YLabel)
+	}
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(opts.Height-1)
+		fmt.Fprintf(&b, "%9.3g |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%9s +%s+\n", "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%9s  %-*.4g%*.4g\n", "", opts.Width/2, minX, opts.Width-opts.Width/2, maxX)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "%9s  %s\n", "", opts.XLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%9s  %c %s\n", "", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	s := []Series{
+		{Name: "landing", Points: [][2]float64{{0, 0}, {1, 0.5}, {2, 1}}},
+		{Name: "internal", Points: [][2]float64{{0, 0}, {1, 0.3}, {2, 0.9}}},
+	}
+	out := Render(s, Options{Width: 40, Height: 10, XLabel: "seconds", YLabel: "CDF"})
+	if !strings.Contains(out, "landing") || !strings.Contains(out, "internal") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "seconds") || !strings.Contains(out, "CDF") {
+		t.Error("axis labels missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs missing")
+	}
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != 10 {
+		t.Errorf("plot rows = %d, want 10", plotLines)
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	if got := Render(nil, Options{}); got != "(no data)\n" {
+		t.Errorf("empty render = %q", got)
+	}
+	// Constant series must not divide by zero.
+	out := Render([]Series{{Name: "flat", Points: [][2]float64{{1, 5}, {1, 5}}}}, Options{})
+	if !strings.Contains(out, "flat") {
+		t.Error("flat series failed to render")
+	}
+}

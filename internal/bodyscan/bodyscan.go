@@ -1,0 +1,113 @@
+// Package bodyscan extracts sub-resource references from non-HTML
+// response bodies: url(...) references in stylesheets, loadResource(...)
+// markers in scripts, and embedded frame documents. Together with
+// internal/htmlx it lets a real-HTTP client discover a page's full
+// dependency tree purely by parsing what the wire delivers — no
+// generator ground truth.
+package bodyscan
+
+import (
+	"strings"
+
+	"repro/internal/htmlx"
+)
+
+// Refs returns the URLs referenced by a response body of the given MIME
+// type. HTML bodies return sub-resources and loadResource markers; CSS
+// bodies return url(...) targets; JS bodies return loadResource(...)
+// targets; everything else returns nil.
+func Refs(mime, body string) []string {
+	mime = strings.ToLower(mime)
+	switch {
+	case strings.Contains(mime, "html"):
+		return htmlRefs(body)
+	case strings.Contains(mime, "css"):
+		return CSSURLs(body)
+	case strings.Contains(mime, "javascript"):
+		return JSLoads(body)
+	default:
+		return nil
+	}
+}
+
+func htmlRefs(body string) []string {
+	doc := htmlx.Parse(body)
+	var out []string
+	for _, r := range doc.Resources {
+		out = append(out, r.URL)
+	}
+	// Inline bootstrap code fetches data/ad resources via loadResource;
+	// inline <style> blocks reference fonts and images via url(...).
+	out = append(out, JSLoads(body)...)
+	out = append(out, CSSURLs(body)...)
+	return dedupe(out)
+}
+
+// CSSURLs extracts url("...")/url('...')/url(...) references from a
+// stylesheet, skipping data: URIs.
+func CSSURLs(css string) []string {
+	var out []string
+	for i := 0; ; {
+		j := strings.Index(css[i:], "url(")
+		if j < 0 {
+			break
+		}
+		start := i + j + len("url(")
+		end := strings.IndexByte(css[start:], ')')
+		if end < 0 {
+			break
+		}
+		raw := strings.TrimSpace(css[start : start+end])
+		raw = strings.Trim(raw, `"'`)
+		if raw != "" && !strings.HasPrefix(raw, "data:") {
+			out = append(out, raw)
+		}
+		i = start + end + 1
+	}
+	return dedupe(out)
+}
+
+// JSLoads extracts loadResource("...") / fetch("...") targets from
+// script source. Only string-literal arguments are recoverable by
+// static scanning, which is all a measurement tool can do.
+func JSLoads(js string) []string {
+	var out []string
+	for _, marker := range []string{"loadResource(", "fetch("} {
+		for i := 0; ; {
+			j := strings.Index(js[i:], marker)
+			if j < 0 {
+				break
+			}
+			start := i + j + len(marker)
+			if start >= len(js) {
+				break
+			}
+			quote := js[start]
+			if quote != '"' && quote != '\'' {
+				i = start
+				continue
+			}
+			end := strings.IndexByte(js[start+1:], quote)
+			if end < 0 {
+				break
+			}
+			if u := js[start+1 : start+1+end]; u != "" {
+				out = append(out, u)
+			}
+			i = start + 1 + end
+		}
+	}
+	return dedupe(out)
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, u := range in {
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}

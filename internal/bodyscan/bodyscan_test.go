@@ -1,0 +1,100 @@
+package bodyscan
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+func TestCSSURLs(t *testing.T) {
+	css := `
+.a { background: url("https://x/img/a.png"); }
+.b { background: url('/img/b.jpg'); }
+.c { background: url(bare.gif); }
+.d { background: url(data:image/png;base64,AAA); }
+.e { background: url("https://x/img/a.png"); } /* duplicate */
+`
+	got := CSSURLs(css)
+	want := []string{"https://x/img/a.png", "/img/b.jpg", "bare.gif"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CSSURLs = %v, want %v", got, want)
+	}
+	if CSSURLs("no urls here") != nil {
+		t.Error("expected nil for plain text")
+	}
+	if CSSURLs("broken url( no close") != nil {
+		t.Error("unterminated url( must not loop or return junk")
+	}
+}
+
+func TestJSLoads(t *testing.T) {
+	js := `
+loadResource("https://x/api/a.json");
+loadResource('https://x/api/b.json');
+fetch("https://x/api/c.json").then(r => r.json());
+loadResource(variableNotALiteral);
+// loadResource("https://commented-but-still-static/d.json")
+`
+	got := JSLoads(js)
+	if len(got) != 4 {
+		t.Fatalf("JSLoads = %v", got)
+	}
+	if got[0] != "https://x/api/a.json" || got[2] != "https://commented-but-still-static/d.json" {
+		t.Errorf("JSLoads order = %v", got)
+	}
+}
+
+func TestRefsDispatch(t *testing.T) {
+	if got := Refs("text/css", `x { background: url(/a.png) }`); len(got) != 1 {
+		t.Errorf("css dispatch = %v", got)
+	}
+	if got := Refs("application/javascript", `loadResource("/x")`); len(got) != 1 {
+		t.Errorf("js dispatch = %v", got)
+	}
+	if got := Refs("image/png", "binarybinary"); got != nil {
+		t.Errorf("image dispatch = %v", got)
+	}
+	html := `<img src="/a.png"><script>loadResource("/b.json")</script>`
+	got := Refs("text/html; charset=utf-8", html)
+	if len(got) != 2 {
+		t.Errorf("html dispatch = %v", got)
+	}
+}
+
+// TestAgreesWithGeneratorBodies cross-checks the scanner against the
+// generator: scanning a rendered body must recover exactly the model's
+// child references.
+func TestAgreesWithGeneratorBodies(t *testing.T) {
+	u := toplist.NewUniverse(toplist.Config{Seed: 111, Size: 300})
+	entries := u.Top(5)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: 111, Sites: seeds})
+	for _, s := range web.Sites {
+		m := s.Landing().Build()
+		for i, o := range m.Objects {
+			if i == 0 {
+				continue
+			}
+			wantRefs := m.ChildRefs(i)
+			if len(wantRefs) == 0 {
+				continue
+			}
+			body := m.RenderBody(i, 1<<20)
+			got := Refs(o.MIME, body)
+			gotSet := map[string]bool{}
+			for _, g := range got {
+				gotSet[g] = true
+			}
+			for _, w := range wantRefs {
+				if !gotSet[w] {
+					t.Errorf("%s (%v): scanner missed child %s", o.URL, o.Role, w)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,702 @@
+// Package browser is the measurement study's page-load engine: the
+// substitute for the automated Firefox the paper drove. Given a generated
+// page model it simulates a cold-cache load in virtual time — DNS
+// lookups through a caching resolver, per-origin connection pools with
+// TCP/TLS handshakes, dependency-ordered parallel object fetches, CDN
+// edge cache interaction, resource-hint handling — and emits the same
+// artifacts the paper collected: a HAR log with full timing phases,
+// Navigation Timing marks (navigationStart → firstPaint = PLT), a Speed
+// Index, and an initiator-based dependency graph.
+package browser
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/dnssim"
+	"repro/internal/har"
+	"repro/internal/simnet"
+	"repro/internal/webgen"
+)
+
+// Config parameterizes a Browser.
+type Config struct {
+	Seed int64
+	// Resolver is the shared caching DNS resolver (persists across page
+	// loads, like the ISP resolver the paper's vantage point used).
+	Resolver *dnssim.Resolver
+	// CDNFactory returns the CDN edge state used for one page load. The
+	// harness passes a fresh popularity-warmed network per load: the
+	// paper's fetches were spread over days and vantage-local edge churn
+	// makes cross-fetch LRU correlation negligible, while the
+	// steady-state warmth (what the X-Cache analysis observes) persists.
+	CDNFactory func() *cdn.Network
+	// Net configures the transport timing model.
+	Net simnet.Config
+	// MaxConnsPerOrigin and MaxConns bound parallelism (browser-like
+	// defaults 6 and 24).
+	MaxConnsPerOrigin int
+	MaxConns          int
+	// ParseDelay is the root-document parse cost before sub-resources are
+	// discovered (default 8ms).
+	ParseDelay time.Duration
+	// Protocol selects optional transport/delivery optimizations for
+	// counterfactual ("what-if") evaluation (§5.6's QUIC/TLS 1.3/Server
+	// Push discussion). The zero value is the paper-era baseline:
+	// HTTP/1.1 over TCP with the site's negotiated TLS version.
+	Protocol Protocol
+}
+
+// Protocol toggles the §5.6 optimizations under study.
+type Protocol struct {
+	// ForceTLS13 makes every HTTPS handshake 1-RTT regardless of the
+	// site's negotiated version.
+	ForceTLS13 bool
+	// QUIC combines transport and crypto setup into a single round trip
+	// (connect = 1 RTT, no separate TLS exchange).
+	QUIC bool
+	// H2Multiplex models HTTP/2: one connection per origin carrying
+	// concurrent streams — no per-request connection queueing.
+	H2Multiplex bool
+	// ServerPush delivers an object's children starting when the parent
+	// starts (the server knows the dependency graph — the Polaris/Vroom
+	// family of optimizations, §5.4).
+	ServerPush bool
+	// PreconnectAll warms a connection to every origin at navigation
+	// start, as if the markup carried perfect preconnect hints (§5.5).
+	PreconnectAll bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConnsPerOrigin <= 0 {
+		c.MaxConnsPerOrigin = 6
+	}
+	if c.MaxConns <= 0 {
+		// Firefox-era global cap is in the hundreds; the per-origin limit
+		// is the binding constraint in practice.
+		c.MaxConns = 256
+	}
+	if c.ParseDelay <= 0 {
+		c.ParseDelay = 8 * time.Millisecond
+	}
+	return c
+}
+
+// Browser loads pages. Not safe for concurrent use.
+type Browser struct {
+	cfg Config
+}
+
+// New creates a Browser.
+func New(cfg Config) (*Browser, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Resolver == nil {
+		return nil, fmt.Errorf("browser: Config.Resolver is required")
+	}
+	if cfg.CDNFactory == nil {
+		return nil, fmt.Errorf("browser: Config.CDNFactory is required")
+	}
+	return &Browser{cfg: cfg}, nil
+}
+
+// conn is one transport connection in a per-origin pool.
+type conn struct {
+	freeAt time.Duration // offset from navigationStart
+}
+
+type pool struct {
+	conns []*conn
+}
+
+// fetchTask is an object ready (or about to be ready) to fetch.
+type fetchTask struct {
+	idx     int
+	readyAt time.Duration
+	seq     int
+}
+
+type taskHeap []fetchTask
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(fetchTask)) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// Load performs one cold-cache page load of the model. fetchID
+// differentiates repeated fetches of the same page (the paper loads each
+// landing page ten times and uses medians); it seeds the per-load jitter.
+func (b *Browser) Load(m *webgen.PageModel, fetchID int) (*har.Log, error) {
+	if len(m.Objects) == 0 {
+		return nil, fmt.Errorf("browser: page model %s has no objects", m.URL)
+	}
+	site := m.Page.Site
+	net := simnet.New(simnet.Config{
+		Seed:          b.cfg.Seed ^ int64(fetchID)*0x9e37 ^ int64(len(m.URL)),
+		ConnBandwidth: b.cfg.Net.ConnBandwidth,
+		MSS:           b.cfg.Net.MSS,
+		InitCwnd:      b.cfg.Net.InitCwnd,
+		JitterFrac:    b.cfg.Net.JitterFrac,
+	})
+	edges := b.cfg.CDNFactory()
+
+	navStart := time.Date(2020, 3, 12, 9, 0, 0, 0, time.UTC).Add(time.Duration(fetchID) * time.Hour)
+	log := &har.Log{Page: har.Page{
+		ID:              fmt.Sprintf("%s#%d", m.URL, fetchID),
+		URL:             m.URL,
+		NavigationStart: navStart,
+	}}
+
+	state := &loadState{
+		b:         b,
+		m:         m,
+		net:       net,
+		edges:     edges,
+		pools:     make(map[string]*pool),
+		dnsDone:   make(map[string]time.Duration),
+		dnsCost:   make(map[string]time.Duration),
+		origins:   make(map[string]bool),
+		originRTT: make(map[string]time.Duration),
+		entries:   make([]har.Entry, len(m.Objects)),
+		done:      make([]time.Duration, len(m.Objects)),
+		starts:    make([]time.Duration, len(m.Objects)),
+		fetched:   make([]bool, len(m.Objects)),
+		tls13:     site.Profile.TLS13 || b.cfg.Protocol.ForceTLS13,
+		origLoc:   site.Origin,
+		navStart:  navStart,
+	}
+	// Pre-compute a representative RTT per origin so hints (preconnect)
+	// pay the true handshake cost of the origin they warm.
+	for _, o := range m.Objects {
+		key := o.Scheme + "://" + o.Host
+		if _, ok := state.originRTT[key]; !ok {
+			state.originRTT[key] = state.rttFor(o)
+		}
+	}
+	if b.cfg.Protocol.PreconnectAll {
+		for origin := range state.originRTT {
+			state.preconnect(origin, 0)
+		}
+	}
+
+	// Fetch the root document.
+	rootDone := state.fetch(0, 0)
+	discovery := rootDone + b.cfg.ParseDelay
+
+	var tasks taskHeap
+	seq := 0
+	push := func(idx int, at time.Duration) {
+		seq++
+		heap.Push(&tasks, fetchTask{idx: idx, readyAt: at, seq: seq})
+	}
+
+	// Resource hints act right after the document's head arrives:
+	// dns-prefetch and preconnect warm origins; preload/prefetch start
+	// deep fetches early (§5.5).
+	for _, h := range m.Hints {
+		switch h.Type {
+		case "dns-prefetch":
+			state.prefetchDNS(h.Target, rootDone)
+		case "preconnect":
+			state.preconnect(h.Target, rootDone)
+		case "preload", "prefetch":
+			if h.ObjectIndex > 0 {
+				state.fetched[h.ObjectIndex] = true
+				push(h.ObjectIndex, discovery)
+			}
+		}
+	}
+	// The root's direct children are discovered as the document parses
+	// (for §6.1 redirect pages the root's only child is the real
+	// document, which then reveals everything else).
+	for i, o := range m.Objects {
+		if i == 0 || state.fetched[i] {
+			continue
+		}
+		if o.Parent == 0 {
+			state.fetched[i] = true
+			push(i, discovery+time.Duration(i)*200*time.Microsecond)
+		}
+	}
+
+	// Event loop: fetch in ready order; completions reveal children —
+	// or, with server push, children start as soon as the parent does.
+	for tasks.Len() > 0 {
+		t := heap.Pop(&tasks).(fetchTask)
+		doneAt := state.fetch(t.idx, t.readyAt)
+		childAt := doneAt + state.procDelay(m.Objects[t.idx].Role)
+		if b.cfg.Protocol.ServerPush {
+			childAt = state.starts[t.idx] + 2*time.Millisecond
+		}
+		for ci, o := range m.Objects {
+			if o.Parent == t.idx && !state.fetched[ci] {
+				state.fetched[ci] = true
+				push(ci, childAt)
+			}
+		}
+	}
+
+	// Any orphan (parent never fetched — cannot happen by construction,
+	// but be defensive) is fetched at the end.
+	for i := range m.Objects {
+		if !state.fetched[i] && i != 0 {
+			state.fetch(i, discovery)
+		}
+	}
+
+	log.Entries = state.entries
+	log.Page.Timings = state.pageTimings(rootDone)
+	return log, nil
+}
+
+// loadState carries one page load's evolving state.
+type loadState struct {
+	b         *Browser
+	m         *webgen.PageModel
+	net       *simnet.Model
+	edges     *cdn.Network
+	pools     map[string]*pool
+	dnsDone   map[string]time.Duration // host -> when resolution completes
+	dnsCost   map[string]time.Duration // host -> latency paid by first lookup
+	origins   map[string]bool
+	originRTT map[string]time.Duration
+	entries   []har.Entry
+	done      []time.Duration
+	starts    []time.Duration
+	fetched   []bool
+	tls13     bool
+	origLoc   simnet.Loc
+	navStart  time.Time
+	nConns    int
+}
+
+// rttFor returns the connection RTT for an object's serving host.
+func (s *loadState) rttFor(o *webgen.Object) time.Duration {
+	if o.ViaCDN != "" {
+		return s.net.RTT(simnet.LocEdge)
+	}
+	if o.ThirdParty {
+		// Third-party infrastructure is mostly US-hosted.
+		h := 0
+		for i := 0; i < len(o.Host); i++ {
+			h = h*31 + int(o.Host[i])
+		}
+		switch h % 10 {
+		case 0, 1:
+			return s.net.RTT(simnet.LocEurope)
+		case 2:
+			return s.net.RTT(simnet.LocAsia)
+		case 3, 4, 5:
+			return s.net.RTT(simnet.LocUSWest)
+		default:
+			return s.net.RTT(simnet.LocUSEast)
+		}
+	}
+	return s.net.RTT(s.origLoc)
+}
+
+// procDelay is the time between an object finishing and its children
+// being requested.
+func (s *loadState) procDelay(r webgen.Role) time.Duration {
+	switch r {
+	case webgen.RoleCSS:
+		return 3 * time.Millisecond
+	case webgen.RoleJS, webgen.RoleAdJS:
+		return 12 * time.Millisecond
+	case webgen.RoleIframe, webgen.RoleDoc:
+		return 6 * time.Millisecond
+	default:
+		return 2 * time.Millisecond
+	}
+}
+
+// resolve performs a page-scoped DNS lookup: the first lookup of a host
+// pays the resolver latency; later lookups are served from the browser's
+// in-page cache.
+func (s *loadState) resolve(host string, pop float64, at time.Duration) (ready time.Duration, cost time.Duration) {
+	if doneAt, ok := s.dnsDone[host]; ok {
+		if doneAt > at {
+			// Resolution in flight (e.g. dns-prefetch racing a fetch).
+			return doneAt, 0
+		}
+		return at, 0
+	}
+	res, err := s.b.cfg.Resolver.Resolve(host, pop)
+	lat := res.Latency
+	if err != nil {
+		lat = 150 * time.Millisecond
+	}
+	s.dnsDone[host] = at + lat
+	s.dnsCost[host] = lat
+	return at + lat, lat
+}
+
+// prefetchDNS implements the dns-prefetch hint.
+func (s *loadState) prefetchDNS(origin string, at time.Duration) {
+	host := hostOf(origin)
+	if host == "" {
+		return
+	}
+	s.resolve(host, 0.5, at)
+}
+
+// preconnect implements the preconnect hint: resolve plus open a warm
+// connection.
+func (s *loadState) preconnect(origin string, at time.Duration) {
+	host := hostOf(origin)
+	if host == "" {
+		return
+	}
+	ready, _ := s.resolve(host, 0.5, at)
+	key := origin
+	p := s.pools[key]
+	if p == nil {
+		p = &pool{}
+		s.pools[key] = p
+	}
+	if len(p.conns) >= s.b.cfg.MaxConnsPerOrigin || s.nConns >= s.b.cfg.MaxConns {
+		return
+	}
+	rtt, ok := s.originRTT[origin]
+	if !ok {
+		rtt = s.net.RTT(simnet.LocEdge)
+	}
+	hs := s.net.ConnectTime(rtt)
+	if hasTLS(origin) {
+		hs += s.net.TLSTime(rtt, s.tls13)
+	}
+	p.conns = append(p.conns, &conn{freeAt: ready + hs})
+	s.nConns++
+}
+
+func hostOf(origin string) string {
+	h := origin
+	if i := index(h, "://"); i >= 0 {
+		h = h[i+3:]
+	}
+	if i := indexByte(h, '/'); i >= 0 {
+		h = h[:i]
+	}
+	return h
+}
+
+func hasTLS(origin string) bool { return len(origin) >= 6 && origin[:6] == "https:" }
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// fetch simulates the full fetch of object idx, ready at readyAt, and
+// returns its completion time. It records the HAR entry.
+func (s *loadState) fetch(idx int, readyAt time.Duration) time.Duration {
+	o := s.m.Objects[idx]
+	origin := o.Scheme + "://" + o.Host
+	s.origins[origin] = true
+	rtt := s.rttFor(o)
+
+	// DNS.
+	dnsPop := o.Popularity
+	if o.ThirdParty {
+		if dnsPop *= 5; dnsPop > 1 {
+			dnsPop = 1
+		}
+	}
+	dnsReady, dnsCost := s.resolve(o.Host, dnsPop, readyAt)
+	timings := har.Timings{DNS: har.NotApplicable, Connect: har.NotApplicable, SSL: har.NotApplicable}
+	if dnsCost > 0 {
+		timings.DNS = dnsCost
+	}
+
+	// Connection acquisition.
+	p := s.pools[origin]
+	if p == nil {
+		p = &pool{}
+		s.pools[origin] = p
+	}
+	h2 := s.b.cfg.Protocol.H2Multiplex
+	handshake := func() (connect, tls time.Duration) {
+		if s.b.cfg.Protocol.QUIC {
+			// Transport and crypto setup share a single round trip.
+			return s.net.ConnectTime(rtt), 0
+		}
+		connect = s.net.ConnectTime(rtt)
+		if o.Scheme == "https" {
+			tls = s.net.TLSTime(rtt, s.tls13)
+		}
+		return connect, tls
+	}
+
+	var start time.Duration
+	var chosen *conn
+	if h2 {
+		// One multiplexed connection per origin; streams never queue on
+		// each other (per-stream bandwidth contention is folded into the
+		// per-connection bandwidth model).
+		if len(p.conns) == 0 {
+			connectCost, tlsCost := handshake()
+			chosen = &conn{freeAt: dnsReady + connectCost + tlsCost}
+			p.conns = append(p.conns, chosen)
+			s.nConns++
+			timings.Connect = connectCost
+			if tlsCost > 0 {
+				timings.SSL = tlsCost
+			}
+		} else {
+			chosen = p.conns[0]
+		}
+		start = maxDur(dnsReady, chosen.freeAt)
+	} else {
+		// HTTP/1.1: pick the earliest-available established connection or
+		// open a new one if that is faster and the budget allows.
+		for _, c := range p.conns {
+			if chosen == nil || c.freeAt < chosen.freeAt {
+				chosen = c
+			}
+		}
+		newAllowed := len(p.conns) < s.b.cfg.MaxConnsPerOrigin && s.nConns < s.b.cfg.MaxConns
+		if chosen == nil {
+			// An origin with no pooled connection must open one regardless
+			// of the global budget (the browser would otherwise queue;
+			// opening is the closer model and keeps handshake accounting
+			// honest).
+			newAllowed = true
+		}
+		reuseStart := time.Duration(1<<62 - 1)
+		if chosen != nil {
+			reuseStart = maxDur(dnsReady, chosen.freeAt)
+		}
+		if newAllowed {
+			connectCost, tlsCost := handshake()
+			newStart := dnsReady + connectCost + tlsCost
+			if newStart < reuseStart {
+				chosen = &conn{}
+				p.conns = append(p.conns, chosen)
+				s.nConns++
+				timings.Connect = connectCost
+				if tlsCost > 0 {
+					timings.SSL = tlsCost
+				}
+				start = newStart
+			} else {
+				start = reuseStart
+			}
+		} else {
+			start = reuseStart
+		}
+	}
+	timings.Blocked = start - readyAt - dur0(timings.DNS) - dur0(timings.Connect) - dur0(timings.SSL)
+	if timings.Blocked < 0 {
+		timings.Blocked = 0
+	}
+
+	// Request/response.
+	timings.Send = s.net.SendTime()
+	think, backhaul, xcache, server := s.serverSide(o)
+	timings.Wait = s.net.WaitTime(rtt, think, backhaul)
+	timings.Receive = s.net.ReceiveTime(o.Size, rtt)
+
+	doneAt := start + timings.Send + timings.Wait + timings.Receive
+	if !h2 {
+		chosen.freeAt = doneAt // HTTP/1.1: the connection is busy until the body lands
+	}
+	s.done[idx] = doneAt
+	s.starts[idx] = start
+
+	status := 200
+	if o.Role == webgen.RoleBeacon && idx%3 == 0 {
+		status = 204
+	}
+	headers := []har.Header{
+		{Name: "Content-Type", Value: o.MIME},
+		{Name: "Server", Value: server},
+	}
+	if o.Role == webgen.RoleRedirect && idx+1 < len(s.m.Objects) {
+		status = 301
+		headers = append(headers, har.Header{Name: "Location", Value: s.m.Objects[idx+1].URL})
+	}
+	if o.Cacheable {
+		headers = append(headers, har.Header{Name: "Cache-Control", Value: "public, max-age=86400"})
+	} else {
+		vals := [...]string{"no-store", "no-cache", "private, max-age=0"}
+		headers = append(headers, har.Header{Name: "Cache-Control", Value: vals[idx%3]})
+	}
+	if xcache != "" {
+		headers = append(headers, har.Header{Name: "X-Cache", Value: xcache})
+		headers = append(headers, har.Header{Name: "Via", Value: "1.1 " + o.ViaCDN})
+	}
+
+	initiator := ""
+	if o.Parent >= 0 {
+		initiator = s.m.Objects[o.Parent].URL
+	}
+	s.entries[idx] = har.Entry{
+		StartedAt: s.navStart.Add(readyAt),
+		Time:      doneAt - readyAt,
+		Request:   har.Request{Method: "GET", URL: o.URL},
+		Response: har.Response{
+			Status:   status,
+			Headers:  headers,
+			MIMEType: o.MIME,
+			BodySize: o.Size,
+		},
+		Timings:   timings,
+		Initiator: initiator,
+		Depth:     o.Depth,
+	}
+	return doneAt
+}
+
+// popFactor maps object popularity to an origin-side processing-time
+// multiplier: hot content is served from warm caches, cold content pays
+// full generation/IO cost.
+func popFactor(pop float64) float64 {
+	f := 2.4 / (1 + 1.4*pop)
+	if f < 0.4 {
+		f = 0.4
+	}
+	return f
+}
+
+func dur0(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// serverSide computes the server's contribution: processing time, any
+// backhaul on a CDN miss, plus identification headers.
+func (s *loadState) serverSide(o *webgen.Object) (think, backhaul time.Duration, xcache, server string) {
+	if o.ViaCDN != "" {
+		edge, err := s.edges.Edge(o.ViaCDN)
+		if err == nil {
+			res := edge.Serve(o.URL, o.Popularity)
+			think = res.Think
+			if !res.Hit {
+				// Backhaul: edge fetches from the origin (or a parent
+				// cache) before answering. A missed document must be
+				// generated by the origin, not just read from disk.
+				gen := s.net.StaticThink()
+				if o.Role == webgen.RoleDoc || o.Role == webgen.RoleIframe {
+					gen = s.net.OriginThink()
+				}
+				backhaul = s.net.RTT(s.origLoc) + gen
+			}
+			xcache = edge.XCacheHeader(res)
+			server = edge.Provider.ServerHeader
+			return think, backhaul, xcache, server
+		}
+	}
+	server = "nginx"
+	switch o.Role {
+	case webgen.RoleDoc, webgen.RoleIframe, webgen.RoleJSON, webgen.RoleBid, webgen.RoleBeacon, webgen.RoleAdJS, webgen.RoleAdImage:
+		// Popular dynamic responses are hot in origin-side caches (page
+		// caches, micro-caches, pre-rendered templates): the same
+		// popularity asymmetry that favours landing pages at CDN edges
+		// (§5.1) shortens their time-to-first-byte at origins.
+		think = s.net.OriginThink()
+		if o.Role == webgen.RoleBid || o.Role == webgen.RoleAdJS || o.Role == webgen.RoleBeacon {
+			// Ad-tech endpoints run auctions and sync flows before
+			// answering.
+			think = time.Duration(float64(think) * 1.6)
+		}
+		think = time.Duration(float64(think) * popFactor(o.Popularity))
+	default:
+		// Static assets also benefit from popularity at the origin:
+		// frequently requested files stay in page caches and front-proxy
+		// memory.
+		think = time.Duration(float64(s.net.StaticThink()) * popFactor(o.Popularity))
+	}
+	return think, 0, "", server
+}
+
+// pageTimings derives Navigation Timing marks and the Speed Index.
+func (s *loadState) pageTimings(rootDone time.Duration) har.PageTimings {
+	m := s.m
+	// First paint: document parsed and render-blocking depth-1 resources
+	// in. A small style/layout cost follows.
+	fp := rootDone + s.b.cfg.ParseDelay
+	for i, o := range m.Objects {
+		if o.RenderBlocking && s.done[i] > fp {
+			fp = s.done[i]
+		}
+	}
+	fp += 20 * time.Millisecond
+
+	onLoad := fp
+	for _, d := range s.done {
+		if d > onLoad {
+			onLoad = d
+		}
+	}
+
+	// Speed Index: integrate 1 - visual completeness. Nothing is visible
+	// before first paint; each visual object contributes its weight when
+	// it finishes (or at first paint if it finished earlier).
+	totalW := 0.0
+	type vis struct {
+		at time.Duration
+		w  float64
+	}
+	var events []vis
+	for i, o := range m.Objects {
+		if o.VisualWeight <= 0 {
+			continue
+		}
+		totalW += o.VisualWeight
+		at := s.done[i]
+		if at < fp {
+			at = fp
+		}
+		events = append(events, vis{at: at, w: o.VisualWeight})
+	}
+	si := fp
+	if totalW > 0 {
+		sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+		completed := 0.0
+		prev := fp
+		for _, e := range events {
+			if e.at > prev {
+				si += time.Duration(float64(e.at-prev) * (1 - completed/totalW))
+				prev = e.at
+			}
+			completed += e.w
+		}
+	}
+	return har.PageTimings{FirstPaint: fp, OnLoad: onLoad, SpeedIndex: si}
+}

@@ -1,0 +1,81 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/dnssim"
+	"repro/internal/webgen"
+)
+
+// TestLoadSurvivesNXDOMAIN injects DNS failures for third-party hosts
+// and checks the load still completes: a real browser renders a page
+// even when some vendors' domains do not resolve.
+func TestLoadSurvivesNXDOMAIN(t *testing.T) {
+	_, web := testBrowser(t, 2.2)
+	site := web.Sites[0]
+
+	// An authority that refuses every third-party name.
+	flaky := dnssim.AuthorityFunc(func(host string) (dnssim.Record, bool) {
+		if !strings.Contains(host, site.Domain) {
+			return dnssim.Record{}, false
+		}
+		return dnssim.Record{Host: host, Addr: dnssim.SyntheticAddr(host), TTL: time.Hour}, true
+	})
+	resolver := dnssim.NewResolver(dnssim.ResolverConfig{Name: "flaky", Seed: 51}, flaky, nil)
+	b, err := New(Config{
+		Seed:     51,
+		Resolver: resolver,
+		CDNFactory: func() *cdn.Network {
+			return cdn.NewNetwork(1<<14, cdn.PopularityWarmth(2.2, 0.97), 51)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := site.Landing().Build()
+	log, err := b.Load(m, 0)
+	if err != nil {
+		t.Fatalf("load must survive third-party NXDOMAINs: %v", err)
+	}
+	if len(log.Entries) != len(m.Objects) {
+		t.Fatalf("entries = %d, want %d", len(log.Entries), len(m.Objects))
+	}
+	// Failed resolutions cost time, they do not vanish.
+	var tpDNS time.Duration
+	for i, e := range log.Entries {
+		if m.Objects[i].ThirdParty && e.Timings.DNS > 0 {
+			tpDNS += e.Timings.DNS
+		}
+	}
+	if tpDNS < 100*time.Millisecond {
+		t.Errorf("third-party DNS failures should cost noticeable time, got %v", tpDNS)
+	}
+}
+
+// TestLoadDeterministicPerFetchID locks reproducibility: the same model
+// and fetch ID must produce an identical HAR.
+func TestLoadDeterministicPerFetchID(t *testing.T) {
+	mkB := func() (*Browser, *webgen.Web) { return testBrowser(t, 2.2) }
+	b1, web := mkB()
+	b2, _ := mkB()
+	m := web.Sites[3].Landing().Build()
+	l1, err := b1.Load(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := b2.Load(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Page.Timings != l2.Page.Timings {
+		t.Fatalf("page timings differ: %+v vs %+v", l1.Page.Timings, l2.Page.Timings)
+	}
+	for i := range l1.Entries {
+		if l1.Entries[i].Timings != l2.Entries[i].Timings {
+			t.Fatalf("entry %d timings differ", i)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package cdn
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestProvidersWellFormed(t *testing.T) {
+	ps := Providers()
+	if len(ps) < 40 {
+		t.Fatalf("providers = %d, want >= 40 (the paper saw 40+ CDNs)", len(ps))
+	}
+	seen := map[string]bool{}
+	xcache := 0
+	for _, p := range ps {
+		if p.Name == "" || p.HostSuffix == "" || p.CNAMESuffix == "" || p.ServerHeader == "" {
+			t.Errorf("incomplete provider %+v", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate provider %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.XCache {
+			xcache++
+		}
+	}
+	if xcache == len(ps) || xcache == 0 {
+		t.Errorf("X-Cache support should be partial (paper: at least two major CDNs expose it): %d/%d", xcache, len(ps))
+	}
+}
+
+func TestProviderByName(t *testing.T) {
+	p, ok := ProviderByName("fastcache")
+	if !ok || p.HostSuffix != ".fastcache.net" {
+		t.Errorf("ProviderByName = %+v, %v", p, ok)
+	}
+	if _, ok := ProviderByName("nope"); ok {
+		t.Error("unknown provider should not resolve")
+	}
+}
+
+func TestPopularityWarmthShape(t *testing.T) {
+	w := PopularityWarmth(2, 0.97)
+	if w(0) != 0 {
+		t.Error("zero popularity must be cold")
+	}
+	if !(w(0.1) < w(0.5) && w(0.5) < w(1)) {
+		t.Error("warmth must be monotone in popularity")
+	}
+	if w(1000) > 0.97 {
+		t.Error("warmth must saturate at the ceiling")
+	}
+	// Bad ceiling falls back.
+	w2 := PopularityWarmth(2, 5)
+	if w2(1000) > 0.99 {
+		t.Error("invalid ceiling not defaulted")
+	}
+}
+
+func TestEdgeLRURealHits(t *testing.T) {
+	e := NewEdge(Provider{Name: "t", XCache: true}, 2, nil, 1)
+	if r := e.Serve("a", 0); r.Hit {
+		t.Error("cold edge must miss")
+	}
+	if r := e.Serve("a", 0); !r.Hit {
+		t.Error("second request must hit the LRU")
+	}
+	// Capacity 2: inserting c evicts the LRU victim (b), not a (recently used).
+	e.Serve("b", 0)
+	e.Serve("a", 0)
+	e.Serve("c", 0)
+	if r := e.Serve("a", 0); !r.Hit {
+		t.Error("a should still be cached (recently used)")
+	}
+	if r := e.Serve("b", 0); r.Hit {
+		t.Error("b should have been evicted")
+	}
+	if e.Len() > 2 {
+		t.Errorf("edge over capacity: %d", e.Len())
+	}
+}
+
+func TestEdgeWarmth(t *testing.T) {
+	hits := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		e := NewEdge(Provider{Name: "t"}, 10, PopularityWarmth(50, 0.97), int64(i))
+		if r := e.Serve(fmt.Sprintf("obj%d", i), 1.0); r.Hit {
+			hits++
+		}
+	}
+	if hits < n/2 {
+		t.Errorf("hot objects warm-hit only %d/%d", hits, n)
+	}
+}
+
+func TestXCacheHeader(t *testing.T) {
+	e := NewEdge(Provider{Name: "t", XCache: true}, 10, nil, 1)
+	if got := e.XCacheHeader(ServeResult{Hit: true}); got != "HIT" {
+		t.Errorf("XCacheHeader hit = %q", got)
+	}
+	if got := e.XCacheHeader(ServeResult{}); got != "MISS" {
+		t.Errorf("XCacheHeader miss = %q", got)
+	}
+	e2 := NewEdge(Provider{Name: "t"}, 10, nil, 1)
+	if got := e2.XCacheHeader(ServeResult{Hit: true}); got != "" {
+		t.Errorf("provider without X-Cache emitted %q", got)
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	n := NewNetwork(16, nil, 9)
+	e, err := n.Edge("fastcache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Serve("x", 0)
+	e.Serve("x", 0)
+	h, m := n.Stats()
+	if h != 1 || m != 1 {
+		t.Errorf("stats = %d/%d, want 1/1", h, m)
+	}
+	if _, err := n.Edge("unknown"); err == nil {
+		t.Error("unknown edge should error")
+	}
+}

@@ -1,0 +1,94 @@
+package cdndetect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dnssim"
+	"repro/internal/har"
+)
+
+func entry(url string, headers ...har.Header) *har.Entry {
+	return &har.Entry{
+		Request:  har.Request{Method: "GET", URL: url},
+		Response: har.Response{Status: 200, Headers: headers},
+	}
+}
+
+func TestHostSuffixAttribution(t *testing.T) {
+	d := New(nil)
+	res, ok := d.Attribute(entry("https://assets-foo.fastcache.net/x.js"))
+	if !ok || res.Provider != "fastcache" || res.Method != "host" {
+		t.Errorf("host attribution = %+v, %v", res, ok)
+	}
+	if _, ok := d.Attribute(entry("https://www.example.com/x.js")); ok {
+		t.Error("plain origin attributed to a CDN")
+	}
+}
+
+func TestServerHeaderAttribution(t *testing.T) {
+	d := New(nil)
+	res, ok := d.Attribute(entry("https://static.example.com/x.js",
+		har.Header{Name: "Server", Value: "CloudMesh"}))
+	if !ok || res.Provider != "cloudmesh" || res.Method != "server" {
+		t.Errorf("server attribution = %+v, %v", res, ok)
+	}
+	if _, ok := d.Attribute(entry("https://static.example.com/x.js",
+		har.Header{Name: "Server", Value: "nginx"})); ok {
+		t.Error("nginx attributed to a CDN")
+	}
+}
+
+func TestViaHeaderAttribution(t *testing.T) {
+	d := New(nil)
+	res, ok := d.Attribute(entry("https://static.example.com/x.js",
+		har.Header{Name: "Server", Value: "nginx"},
+		har.Header{Name: "Via", Value: "1.1 edgenova"}))
+	if !ok || res.Provider != "edgenova" || res.Method != "via" {
+		t.Errorf("via attribution = %+v, %v", res, ok)
+	}
+}
+
+func TestCNAMEAttribution(t *testing.T) {
+	auth := dnssim.AuthorityFunc(func(host string) (dnssim.Record, bool) {
+		if host == "static.example.com" {
+			return dnssim.Record{
+				Host:  host,
+				Chain: []string{"static.example.com.swiftlayer-edge.net"},
+				Addr:  "198.51.100.7",
+				TTL:   time.Minute,
+			}, true
+		}
+		return dnssim.Record{Host: host, Addr: "198.51.100.8", TTL: time.Hour}, true
+	})
+	resolver := dnssim.NewResolver(dnssim.ResolverConfig{Name: "t", Seed: 1}, auth, nil)
+	d := New(resolver)
+	res, ok := d.Attribute(entry("https://static.example.com/x.css",
+		har.Header{Name: "Server", Value: "nginx"}))
+	if !ok || res.Provider != "swiftlayer" || res.Method != "cname" {
+		t.Errorf("cname attribution = %+v, %v", res, ok)
+	}
+	if _, ok := d.Attribute(entry("https://www.example.com/",
+		har.Header{Name: "Server", Value: "nginx"})); ok {
+		t.Error("non-CNAMEd host attributed")
+	}
+}
+
+func TestCacheStatus(t *testing.T) {
+	if got := CacheStatus(entry("u", har.Header{Name: "X-Cache", Value: "HIT"})); got != 1 {
+		t.Errorf("HIT = %d", got)
+	}
+	if got := CacheStatus(entry("u", har.Header{Name: "X-Cache", Value: "miss"})); got != -1 {
+		t.Errorf("miss = %d", got)
+	}
+	if got := CacheStatus(entry("u")); got != 0 {
+		t.Errorf("absent = %d", got)
+	}
+}
+
+func TestCustomSignatures(t *testing.T) {
+	d := NewWithSignatures([]Signature{{Provider: "acme", HostSuffix: ".acme-cdn.example"}}, nil)
+	if _, ok := d.Attribute(entry("https://img.acme-cdn.example/a.png")); !ok {
+		t.Error("custom signature not matched")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the column layout of the released measurement dataset
+// (the paper publishes its per-page measurements at hispar.cs.duke.edu;
+// this is our equivalent artifact).
+var csvHeader = []string{
+	"domain", "rank", "category", "page_type", "url", "scheme",
+	"bytes", "objects", "plt_ms", "speed_index_ms", "onload_ms",
+	"noncacheable", "cacheable_bytes", "cdn_bytes", "cdn_hits", "cdn_misses",
+	"domains", "hints", "handshakes", "handshake_ms",
+	"trackers", "ad_slots", "has_hb", "mixed_content", "insecure_redirect",
+	"third_parties", "depth2plus",
+}
+
+// WriteMeasurementsCSV writes the study's per-page measurements as the
+// public dataset.
+func WriteMeasurementsCSV(w io.Writer, res *StudyResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	emit := func(s *SiteResult, p *PageMeasurement, kind string) error {
+		deep := 0
+		for d := 2; d < len(p.DepthCounts); d++ {
+			deep += p.DepthCounts[d]
+		}
+		return cw.Write([]string{
+			s.Domain, strconv.Itoa(s.Rank), s.Category, kind, p.URL, p.Scheme,
+			strconv.FormatInt(p.Bytes, 10), strconv.Itoa(p.Objects),
+			strconv.FormatInt(p.PLT.Milliseconds(), 10),
+			strconv.FormatInt(p.SpeedIndex.Milliseconds(), 10),
+			strconv.FormatInt(p.OnLoad.Milliseconds(), 10),
+			strconv.Itoa(p.NonCacheable), strconv.FormatInt(p.CacheableBytes, 10),
+			strconv.FormatInt(p.CDNBytes, 10), strconv.Itoa(p.CDNHits), strconv.Itoa(p.CDNMisses),
+			strconv.Itoa(p.UniqueDomains), strconv.Itoa(p.Hints),
+			strconv.Itoa(p.Handshakes), strconv.FormatInt(p.HandshakeTime.Milliseconds(), 10),
+			strconv.Itoa(p.TrackerRequests), strconv.Itoa(p.AdSlots),
+			strconv.FormatBool(p.HasHB), strconv.FormatBool(p.MixedContent),
+			strconv.FormatBool(p.InsecureRedirect),
+			strconv.Itoa(len(p.ThirdParties)), strconv.Itoa(deep),
+		})
+	}
+	for i := range res.Sites {
+		s := &res.Sites[i]
+		if err := emit(s, &s.Landing, "landing"); err != nil {
+			return err
+		}
+		for j := range s.Internal {
+			if err := emit(s, &s.Internal[j], "internal"); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMeasurementsCSV parses a dataset written by WriteMeasurementsCSV
+// back into site results (the per-object wait samples and content-mix
+// maps are not part of the public dataset and stay empty).
+func ReadMeasurementsCSV(r io.Reader) (*StudyResult, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("core: dataset header: %w", err)
+	}
+	if len(header) != len(csvHeader) || header[0] != "domain" {
+		return nil, fmt.Errorf("core: unexpected dataset header %v", header)
+	}
+	res := &StudyResult{}
+	byDomain := make(map[string]int)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		p, rank, kind, err := parseRow(rec)
+		if err != nil {
+			return nil, err
+		}
+		idx, ok := byDomain[rec[0]]
+		if !ok {
+			byDomain[rec[0]] = len(res.Sites)
+			res.Sites = append(res.Sites, SiteResult{Domain: rec[0], Rank: rank, Category: rec[2]})
+			idx = len(res.Sites) - 1
+		}
+		if kind == "landing" {
+			res.Sites[idx].Landing = p
+		} else {
+			res.Sites[idx].Internal = append(res.Sites[idx].Internal, p)
+		}
+	}
+	return res, nil
+}
+
+func parseRow(rec []string) (PageMeasurement, int, string, error) {
+	var p PageMeasurement
+	atoi := func(s string) int { v, _ := strconv.Atoi(s); return v }
+	ai64 := func(s string) int64 { v, _ := strconv.ParseInt(s, 10, 64); return v }
+	ab := func(s string) bool { v, _ := strconv.ParseBool(s); return v }
+	rank, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return p, 0, "", fmt.Errorf("core: bad rank %q", rec[1])
+	}
+	p = PageMeasurement{
+		Domain:           rec[0],
+		Rank:             rank,
+		Category:         rec[2],
+		IsLanding:        rec[3] == "landing",
+		URL:              rec[4],
+		Scheme:           rec[5],
+		Bytes:            ai64(rec[6]),
+		Objects:          atoi(rec[7]),
+		PLT:              time.Duration(ai64(rec[8])) * time.Millisecond,
+		SpeedIndex:       time.Duration(ai64(rec[9])) * time.Millisecond,
+		OnLoad:           time.Duration(ai64(rec[10])) * time.Millisecond,
+		NonCacheable:     atoi(rec[11]),
+		CacheableBytes:   ai64(rec[12]),
+		CDNBytes:         ai64(rec[13]),
+		CDNHits:          atoi(rec[14]),
+		CDNMisses:        atoi(rec[15]),
+		UniqueDomains:    atoi(rec[16]),
+		Hints:            atoi(rec[17]),
+		Handshakes:       atoi(rec[18]),
+		HandshakeTime:    time.Duration(ai64(rec[19])) * time.Millisecond,
+		TrackerRequests:  atoi(rec[20]),
+		AdSlots:          atoi(rec[21]),
+		HasHB:            ab(rec[22]),
+		MixedContent:     ab(rec[23]),
+		InsecureRedirect: ab(rec[24]),
+	}
+	// third_parties and depth2plus are denormalized aggregates; rebuild
+	// what downstream code reads.
+	for i := 0; i < atoi(rec[25]); i++ {
+		p.ThirdParties = append(p.ThirdParties, fmt.Sprintf("tp%d.unknown", i))
+	}
+	deep := atoi(rec[26])
+	p.DepthCounts = []int{1, p.Objects - 1 - deep, deep, 0, 0, 0}
+	if p.DepthCounts[1] < 0 {
+		p.DepthCounts[1] = 0
+	}
+	return p, rank, rec[3], nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func datasetFixture() *StudyResult {
+	mk := func(landing bool, url string) PageMeasurement {
+		return PageMeasurement{
+			URL: url, Scheme: "https", IsLanding: landing,
+			Bytes: 2_000_000, Objects: 90, PLT: 800 * time.Millisecond,
+			SpeedIndex: time.Second, OnLoad: 2 * time.Second,
+			NonCacheable: 25, CacheableBytes: 1_500_000,
+			CDNBytes: 900_000, CDNHits: 10, CDNMisses: 5,
+			UniqueDomains: 22, Hints: 3, Handshakes: 40,
+			HandshakeTime: 1200 * time.Millisecond, TrackerRequests: 12,
+			AdSlots: 4, HasHB: landing, MixedContent: !landing,
+			ThirdParties: []string{"a.com", "b.com"},
+			DepthCounts:  []int{1, 60, 20, 9, 0, 0},
+		}
+	}
+	return &StudyResult{Sites: []SiteResult{
+		{
+			Domain: "one.com", Rank: 1, Category: "News",
+			Landing:  mk(true, "https://www.one.com/"),
+			Internal: []PageMeasurement{mk(false, "https://www.one.com/a"), mk(false, "https://www.one.com/b")},
+		},
+		{
+			Domain: "two.net", Rank: 7, Category: "Shopping",
+			Landing:  mk(true, "https://www.two.net/"),
+			Internal: []PageMeasurement{mk(false, "https://www.two.net/p/1")},
+		},
+	}}
+}
+
+func TestMeasurementsCSVRoundTrip(t *testing.T) {
+	res := datasetFixture()
+	var buf bytes.Buffer
+	if err := WriteMeasurementsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "domain,rank,category,page_type,url") {
+		t.Fatalf("header wrong: %.80s", out)
+	}
+	if strings.Count(out, "\n") != 1+5 {
+		t.Fatalf("rows = %d, want 5 + header", strings.Count(out, "\n")-1)
+	}
+
+	got, err := ReadMeasurementsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sites) != 2 {
+		t.Fatalf("sites = %d", len(got.Sites))
+	}
+	s := got.Sites[0]
+	if s.Domain != "one.com" || s.Rank != 1 || s.Category != "News" {
+		t.Errorf("site meta = %+v", s)
+	}
+	if len(s.Internal) != 2 {
+		t.Fatalf("internal = %d", len(s.Internal))
+	}
+	l := s.Landing
+	if !l.IsLanding || l.Bytes != 2_000_000 || l.Objects != 90 ||
+		l.PLT != 800*time.Millisecond || l.Handshakes != 40 ||
+		l.TrackerRequests != 12 || !l.HasHB || l.MixedContent {
+		t.Errorf("landing round trip lost data: %+v", l)
+	}
+	if len(l.ThirdParties) != 2 {
+		t.Errorf("third-party count lost: %v", l.ThirdParties)
+	}
+	deep := 0
+	for d := 2; d < len(l.DepthCounts); d++ {
+		deep += l.DepthCounts[d]
+	}
+	if deep != 29 {
+		t.Errorf("depth2plus = %d, want 29", deep)
+	}
+	// Aggregations keep working on the re-read dataset.
+	if got.Sites[0].Delta(func(p *PageMeasurement) float64 { return float64(p.Objects) }) != 0 {
+		t.Error("delta over re-read dataset broken")
+	}
+}
+
+func TestReadMeasurementsCSVErrors(t *testing.T) {
+	if _, err := ReadMeasurementsCSV(strings.NewReader("not,a,dataset\n")); err == nil {
+		t.Error("want error for wrong header")
+	}
+	if _, err := ReadMeasurementsCSV(strings.NewReader("")); err == nil {
+		t.Error("want error for empty input")
+	}
+}

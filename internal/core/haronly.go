@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/adblock"
+	"repro/internal/cdndetect"
+	"repro/internal/depgraph"
+	"repro/internal/har"
+	"repro/internal/httpsem"
+	"repro/internal/mimecat"
+)
+
+// MeasureHAR computes every metric that is derivable from a HAR log
+// alone — no page model, no generator ground truth. This is the analysis
+// path for externally produced HAR archives (e.g. the output of
+// `webmeasure -har`, or any HAR 1.2 capture): exactly what the paper's
+// released analysis scripts consume. Model-only fields (resource hints,
+// ad slots, header bidding, site rank/category) stay zero.
+func MeasureHAR(log *har.Log, az Analyzers) PageMeasurement {
+	m := PageMeasurement{
+		URL:          log.Page.URL,
+		Scheme:       schemeOf(log.Page.URL),
+		Bytes:        log.TotalBytes(),
+		Objects:      log.ObjectCount(),
+		PLT:          log.Page.Timings.FirstPaint,
+		SpeedIndex:   log.Page.Timings.SpeedIndex,
+		OnLoad:       log.Page.Timings.OnLoad,
+		ContentBytes: make(map[mimecat.Category]int64),
+	}
+	m.IsLanding = isRootDocumentURL(log.Page.URL)
+	if g, err := depgraph.FromHAR(log); err == nil {
+		m.DepthCounts = g.DepthCounts(5)
+	} else {
+		m.DepthCounts = log.DepthCounts(5)
+	}
+
+	pageHost := hostOf(log.Page.URL)
+	pageHTTPS := strings.HasPrefix(log.Page.URL, "https://")
+	domains := make(map[string]bool)
+	thirdParties := make(map[string]bool)
+	for i := range log.Entries {
+		e := &log.Entries[i]
+		host := hostOf(e.Request.URL)
+		domains[host] = true
+		m.ContentBytes[mimecat.Of(e.Response.MIMEType)] += e.Response.BodySize
+		if httpsem.Cacheable(httpsem.Response{
+			Method:       e.Request.Method,
+			Status:       e.Response.Status,
+			CacheControl: e.Response.HeaderValue("Cache-Control"),
+			Pragma:       e.Response.HeaderValue("Pragma"),
+			Expires:      e.Response.HeaderValue("Expires"),
+		}) {
+			m.CacheableBytes += e.Response.BodySize
+		} else {
+			m.NonCacheable++
+		}
+		if az.CDN != nil {
+			if _, ok := az.CDN.Attribute(e); ok {
+				m.CDNBytes += e.Response.BodySize
+				switch cdndetect.CacheStatus(e) {
+				case 1:
+					m.CDNHits++
+				case -1:
+					m.CDNMisses++
+				}
+			}
+		}
+		if e.Timings.NewConnection() {
+			m.Handshakes++
+			m.HandshakeTime += e.Timings.Handshake()
+		}
+		m.WaitTimes = append(m.WaitTimes, e.Timings.Wait)
+		if pageHTTPS && strings.HasPrefix(e.Request.URL, "http://") {
+			m.MixedContent = true
+		}
+		if az.PSL != nil && az.PSL.IsThirdParty(pageHost, host) {
+			if tp := az.PSL.ETLDPlusOne(host); tp != "" {
+				thirdParties[tp] = true
+			}
+		}
+		if az.Adblock != nil {
+			if _, blocked := az.Adblock.Match(adblock.Request{
+				URL:      e.Request.URL,
+				Type:     requestTypeOf(e.Response.MIMEType),
+				PageHost: pageHost,
+			}); blocked {
+				m.TrackerRequests++
+			}
+		}
+	}
+	m.UniqueDomains = len(domains)
+	for tp := range thirdParties {
+		m.ThirdParties = append(m.ThirdParties, tp)
+	}
+	sort.Strings(m.ThirdParties)
+	return m
+}
+
+func schemeOf(u string) string {
+	if i := strings.Index(u, "://"); i > 0 {
+		return u[:i]
+	}
+	return ""
+}
+
+// isRootDocumentURL reports whether the URL addresses a site's root
+// document — the landing page, per the paper's definition.
+func isRootDocumentURL(u string) bool {
+	s := u
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return true
+	}
+	rest := s[slash:]
+	return rest == "/" || rest == ""
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hispar"
+	"repro/internal/search"
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+// TestSmokeStudy exercises the full pipeline end to end on a small web:
+// toplist → webgen → search → hispar build → page loads → measurement.
+func TestSmokeStudy(t *testing.T) {
+	u := toplist.NewUniverse(toplist.Config{Seed: 7, Size: 500})
+	entries := u.Top(60)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: 7, Sites: seeds})
+	eng := search.New(web, search.Config{EnglishOnly: true})
+	list, stats, err := hispar.Build(eng, entries, hispar.BuildConfig{
+		Sites: 40, URLsPerSite: 10, MinResults: 5, Name: "Hsmoke",
+	})
+	if err != nil {
+		t.Fatalf("hispar build: %v", err)
+	}
+	if stats.Queries == 0 || stats.CostUSD == 0 {
+		t.Fatalf("expected nonzero query accounting, got %+v", stats)
+	}
+	start := time.Now()
+	st, err := NewStudy(web, StudyConfig{Seed: 7, LandingFetches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Run(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("study of %d sites (%d pages) took %v", len(res.Sites), list.Pages(), time.Since(start))
+
+	if len(res.Sites) != 40 {
+		t.Fatalf("want 40 sites, got %d", len(res.Sites))
+	}
+	for i := range res.Sites {
+		s := &res.Sites[i]
+		if s.Landing.Objects < 5 {
+			t.Errorf("%s landing has %d objects", s.Domain, s.Landing.Objects)
+		}
+		if s.Landing.PLT <= 0 || s.Landing.SpeedIndex < s.Landing.PLT {
+			t.Errorf("%s: PLT=%v SI=%v", s.Domain, s.Landing.PLT, s.Landing.SpeedIndex)
+		}
+		if s.Landing.UniqueDomains < 2 {
+			t.Errorf("%s landing contacted %d domains", s.Domain, s.Landing.UniqueDomains)
+		}
+		if len(s.Internal) == 0 {
+			t.Errorf("%s has no internal measurements", s.Domain)
+		}
+	}
+	// Sanity of aggregate directions at tiny scale: landing pages should
+	// have more objects than internal for an appreciable share of sites.
+	more := 0
+	for i := range res.Sites {
+		if res.Sites[i].Delta(func(p *PageMeasurement) float64 { return float64(p.Objects) }) > 0 {
+			more++
+		}
+	}
+	t.Logf("landing has more objects for %d/%d sites", more, len(res.Sites))
+	if more < len(res.Sites)/4 {
+		t.Errorf("object-count direction badly off: %d/%d", more, len(res.Sites))
+	}
+}

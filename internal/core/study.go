@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adblock"
+	"repro/internal/browser"
+	"repro/internal/cdn"
+	"repro/internal/cdndetect"
+	"repro/internal/dnssim"
+	"repro/internal/hispar"
+	"repro/internal/psl"
+	"repro/internal/vclock"
+	"repro/internal/webgen"
+)
+
+// StudyConfig parameterizes a full measurement run over a Hispar list.
+type StudyConfig struct {
+	Seed int64
+	// LandingFetches is how many times each landing page is loaded (the
+	// paper uses 10 and takes medians; internal pages are loaded once).
+	LandingFetches int
+	// Workers bounds load parallelism (default: GOMAXPROCS).
+	Workers int
+	// CDNWarmthRate and CDNWarmthCeiling shape the popularity→edge-hit
+	// curve (see internal/cdn). The defaults are calibrated so the H1K
+	// study lands near the paper's hit-rate asymmetry.
+	CDNWarmthRate    float64
+	CDNWarmthCeiling float64
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.LandingFetches <= 0 {
+		c.LandingFetches = 10
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CDNWarmthRate <= 0 {
+		c.CDNWarmthRate = 2.2
+	}
+	if c.CDNWarmthCeiling <= 0 {
+		c.CDNWarmthCeiling = 0.97
+	}
+	return c
+}
+
+// SiteResult is one site's measurements: the landing page (timing fields
+// medianized over repeated fetches) and each measured internal page.
+type SiteResult struct {
+	Domain   string
+	Rank     int
+	Category string
+	Landing  PageMeasurement
+	Internal []PageMeasurement
+}
+
+// InternalMedian applies f to every internal page and returns the median.
+func (s *SiteResult) InternalMedian(f func(*PageMeasurement) float64) float64 {
+	if len(s.Internal) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(s.Internal))
+	for i := range s.Internal {
+		vals[i] = f(&s.Internal[i])
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// Delta returns f(landing) − median_internal(f): the paper's per-site
+// difference statistic (Figs 2, 9, 10).
+func (s *SiteResult) Delta(f func(*PageMeasurement) float64) float64 {
+	return f(&s.Landing) - s.InternalMedian(f)
+}
+
+// Ratio returns f(landing) / median_internal(f), or 0 when undefined;
+// used for the paper's geometric means.
+func (s *SiteResult) Ratio(f func(*PageMeasurement) float64) float64 {
+	den := s.InternalMedian(f)
+	if den == 0 {
+		return 0
+	}
+	return f(&s.Landing) / den
+}
+
+// UnseenThirdParties counts third-party eTLD+1s contacted by at least one
+// internal page but never by the landing page (Fig 8b).
+func (s *SiteResult) UnseenThirdParties() int {
+	onLanding := make(map[string]bool, len(s.Landing.ThirdParties))
+	for _, tp := range s.Landing.ThirdParties {
+		onLanding[tp] = true
+	}
+	seen := make(map[string]bool)
+	for i := range s.Internal {
+		for _, tp := range s.Internal[i].ThirdParties {
+			if !onLanding[tp] {
+				seen[tp] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// InsecureInternal counts measured internal pages served over plain HTTP
+// (Fig 8a).
+func (s *SiteResult) InsecureInternal() int {
+	n := 0
+	for i := range s.Internal {
+		if s.Internal[i].Scheme == "http" {
+			n++
+		}
+	}
+	return n
+}
+
+// MixedInternal counts measured internal pages with mixed content.
+func (s *SiteResult) MixedInternal() int {
+	n := 0
+	for i := range s.Internal {
+		if s.Internal[i].MixedContent {
+			n++
+		}
+	}
+	return n
+}
+
+// StudyResult is a full study over a list.
+type StudyResult struct {
+	List  *hispar.List
+	Sites []SiteResult
+}
+
+// Study runs page loads and measurement for every URL set in the list.
+type Study struct {
+	cfg      StudyConfig
+	web      *webgen.Web
+	resolver *dnssim.Resolver
+	az       Analyzers
+	cdnSeed  int64
+	clock    *vclock.Clock
+}
+
+// NewStudy prepares a study over one web snapshot. It wires the full
+// analysis stack: a warmed ISP resolver over the web's DNS authority, a
+// CDN detector fed by that resolver, the public-suffix list, and an
+// adblock engine compiled from the synthetic Easylist.
+func NewStudy(web *webgen.Web, cfg StudyConfig) (*Study, error) {
+	cfg = cfg.withDefaults()
+	// The measurement window spans days (the paper spreads its 30 fetches
+	// per site over 5 days), so the shared resolver sees TTL expiry: the
+	// study clock advances between sites.
+	clock := vclock.New(time.Date(2020, 3, 12, 0, 0, 0, 0, time.UTC))
+	resolver := dnssim.NewResolver(dnssim.ResolverConfig{
+		Name:          "isp",
+		Seed:          cfg.Seed,
+		ClientRTT:     3 * time.Millisecond,
+		UpstreamTime:  80 * time.Millisecond,
+		WarmQueryRate: 0.8,
+	}, web.Authority(), clock.Now)
+	engine, _ := adblock.Compile(webgen.EasylistFor(web.ThirdParties()))
+	if engine.Len() == 0 {
+		return nil, fmt.Errorf("core: empty adblock engine")
+	}
+	return &Study{
+		cfg:      cfg,
+		web:      web,
+		resolver: resolver,
+		az: Analyzers{
+			PSL:     psl.Default(),
+			Adblock: engine,
+			CDN:     cdndetect.New(resolver),
+		},
+		cdnSeed: cfg.Seed ^ 0x0cd17,
+		clock:   clock,
+	}, nil
+}
+
+// Analyzers exposes the study's analysis stack (useful for tests).
+func (st *Study) Analyzers() Analyzers { return st.az }
+
+// newBrowser builds a per-worker browser sharing the study's resolver.
+func (st *Study) newBrowser(seed int64) (*browser.Browser, error) {
+	warmth := cdn.PopularityWarmth(st.cfg.CDNWarmthRate, st.cfg.CDNWarmthCeiling)
+	var ctr int64
+	return browser.New(browser.Config{
+		Seed:     seed,
+		Resolver: st.resolver,
+		CDNFactory: func() *cdn.Network {
+			n := atomic.AddInt64(&ctr, 1)
+			return cdn.NewNetwork(1<<14, warmth, seed+n*104729)
+		},
+	})
+}
+
+// MeasureSite fetches and measures one URL set.
+func (st *Study) MeasureSite(b *browser.Browser, set hispar.URLSet) (SiteResult, error) {
+	site, ok := st.web.SiteByDomain(set.Domain)
+	if !ok {
+		return SiteResult{}, fmt.Errorf("core: site %s not in web snapshot", set.Domain)
+	}
+	res := SiteResult{Domain: set.Domain, Rank: set.Rank, Category: string(site.Category)}
+
+	// Landing page: repeated cold-cache fetches, median timings.
+	model := site.Landing().Build()
+	var fetches []PageMeasurement
+	for f := 0; f < st.cfg.LandingFetches; f++ {
+		log, err := b.Load(model, f)
+		if err != nil {
+			return SiteResult{}, err
+		}
+		fetches = append(fetches, MeasurePage(log, model, st.az))
+	}
+	res.Landing = medianizeTimings(fetches)
+
+	// Internal pages: one fetch each.
+	for _, u := range set.Internal {
+		page, ok := st.web.PageByURL(u)
+		if !ok {
+			return SiteResult{}, fmt.Errorf("core: URL %s not in web snapshot", u)
+		}
+		im := page.Build()
+		log, err := b.Load(im, 0)
+		if err != nil {
+			return SiteResult{}, err
+		}
+		res.Internal = append(res.Internal, MeasurePage(log, im, st.az))
+	}
+	return res, nil
+}
+
+// medianizeTimings collapses repeated fetches of the same page into one
+// measurement whose timing fields are medians; structural fields are
+// identical across fetches and taken from the first.
+func medianizeTimings(fetches []PageMeasurement) PageMeasurement {
+	out := fetches[0]
+	med := func(f func(*PageMeasurement) float64) float64 {
+		vals := make([]float64, len(fetches))
+		for i := range fetches {
+			vals[i] = f(&fetches[i])
+		}
+		sort.Float64s(vals)
+		n := len(vals)
+		if n%2 == 1 {
+			return vals[n/2]
+		}
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+	out.PLT = time.Duration(med(func(p *PageMeasurement) float64 { return float64(p.PLT) }))
+	out.SpeedIndex = time.Duration(med(func(p *PageMeasurement) float64 { return float64(p.SpeedIndex) }))
+	out.OnLoad = time.Duration(med(func(p *PageMeasurement) float64 { return float64(p.OnLoad) }))
+	out.HandshakeTime = time.Duration(med(func(p *PageMeasurement) float64 { return float64(p.HandshakeTime) }))
+	out.Handshakes = int(med(func(p *PageMeasurement) float64 { return float64(p.Handshakes) }))
+	out.CDNHits = int(med(func(p *PageMeasurement) float64 { return float64(p.CDNHits) }))
+	out.CDNMisses = int(med(func(p *PageMeasurement) float64 { return float64(p.CDNMisses) }))
+	return out
+}
+
+// Run measures every site in the list, in parallel.
+func (st *Study) Run(list *hispar.List) (*StudyResult, error) {
+	results := make([]SiteResult, len(list.Sets))
+	errs := make([]error, len(list.Sets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, st.cfg.Workers)
+	// Validate the browser configuration before fanning out.
+	if _, err := st.newBrowser(st.cfg.Seed); err != nil {
+		return nil, err
+	}
+	var bErr error
+	for i := range list.Sets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			b, err := st.newBrowser(st.cfg.Seed + int64(i)*6151)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = st.MeasureSite(b, list.Sets[i])
+			// ~7 virtual minutes per site spreads the run over the
+			// paper's multi-day window, letting resolver TTLs expire.
+			st.clock.Advance(7 * time.Minute)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			bErr = err
+			break
+		}
+	}
+	if bErr != nil {
+		return nil, bErr
+	}
+	return &StudyResult{List: list, Sites: results}, nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMedianizeTimings(t *testing.T) {
+	mk := func(plt, si, onload, hsTime int, hs, hits int) PageMeasurement {
+		return PageMeasurement{
+			Bytes: 1000, Objects: 10,
+			PLT:           time.Duration(plt) * time.Millisecond,
+			SpeedIndex:    time.Duration(si) * time.Millisecond,
+			OnLoad:        time.Duration(onload) * time.Millisecond,
+			HandshakeTime: time.Duration(hsTime) * time.Millisecond,
+			Handshakes:    hs,
+			CDNHits:       hits,
+		}
+	}
+	fetches := []PageMeasurement{
+		mk(900, 1100, 2000, 500, 40, 10),
+		mk(700, 900, 1800, 450, 38, 12),
+		mk(1100, 1500, 2400, 600, 44, 8),
+	}
+	agg := medianizeTimings(fetches)
+	if agg.PLT != 900*time.Millisecond {
+		t.Errorf("PLT median = %v", agg.PLT)
+	}
+	if agg.SpeedIndex != 1100*time.Millisecond {
+		t.Errorf("SI median = %v", agg.SpeedIndex)
+	}
+	if agg.OnLoad != 2000*time.Millisecond {
+		t.Errorf("onLoad median = %v", agg.OnLoad)
+	}
+	if agg.HandshakeTime != 500*time.Millisecond || agg.Handshakes != 40 {
+		t.Errorf("handshakes = %d/%v", agg.Handshakes, agg.HandshakeTime)
+	}
+	if agg.CDNHits != 10 {
+		t.Errorf("CDN hits median = %d", agg.CDNHits)
+	}
+	// Structure comes from the first fetch.
+	if agg.Bytes != 1000 || agg.Objects != 10 {
+		t.Error("structural fields lost")
+	}
+	// Even count: mean of middle two.
+	even := medianizeTimings(fetches[:2])
+	if even.PLT != 800*time.Millisecond {
+		t.Errorf("even-count PLT = %v", even.PLT)
+	}
+}
+
+func TestStudyConfigDefaults(t *testing.T) {
+	cfg := StudyConfig{}.withDefaults()
+	if cfg.LandingFetches != 10 {
+		t.Errorf("LandingFetches default = %d, want the paper's 10", cfg.LandingFetches)
+	}
+	if cfg.Workers <= 0 || cfg.CDNWarmthRate <= 0 || cfg.CDNWarmthCeiling <= 0 {
+		t.Errorf("defaults incomplete: %+v", cfg)
+	}
+}
+
+func TestMeasureHARLandingDetection(t *testing.T) {
+	model := fixtureModel(t)
+	log := handHAR(model)
+	m := MeasureHAR(log, fixtureAnalyzers())
+	if !m.IsLanding {
+		t.Error("root-document URL not classified as landing")
+	}
+	log.Page.URL = "https://example.com/article/42"
+	if MeasureHAR(log, fixtureAnalyzers()).IsLanding {
+		t.Error("internal URL classified as landing")
+	}
+	// The HAR-only path must agree with the model-aware path on every
+	// network-derived metric.
+	full := MeasurePage(handHAR(model), model, fixtureAnalyzers())
+	haro := MeasureHAR(handHAR(model), fixtureAnalyzers())
+	if full.Bytes != haro.Bytes || full.NonCacheable != haro.NonCacheable ||
+		full.CDNBytes != haro.CDNBytes || full.UniqueDomains != haro.UniqueDomains ||
+		full.Handshakes != haro.Handshakes || full.TrackerRequests != haro.TrackerRequests ||
+		full.MixedContent != haro.MixedContent {
+		t.Errorf("HAR-only analysis diverges from model-aware analysis:\nfull %+v\nhar  %+v", full, haro)
+	}
+}

@@ -1,0 +1,152 @@
+package dnssim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func newTestResolver(cfg ResolverConfig, clock *vclock.Clock) *Resolver {
+	auth := &SyntheticAuthority{DefaultTTL: time.Hour}
+	var now func() time.Time
+	if clock != nil {
+		now = clock.Now
+	}
+	return NewResolver(cfg, auth, now)
+}
+
+func TestResolveCaches(t *testing.T) {
+	r := newTestResolver(ResolverConfig{Name: "t", Seed: 1}, nil)
+	first, err := r.Resolve("www.example.com", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("first query must miss with zero warmth")
+	}
+	second, err := r.Resolve("www.example.com", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("second query must hit")
+	}
+	if second.Latency >= first.Latency {
+		t.Errorf("cached latency %v not below miss latency %v", second.Latency, first.Latency)
+	}
+	if first.Record.Addr != second.Record.Addr || first.Record.Addr == "" {
+		t.Errorf("addresses differ: %q vs %q", first.Record.Addr, second.Record.Addr)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clock := vclock.New(time.Unix(0, 0).UTC())
+	auth := AuthorityFunc(func(host string) (Record, bool) {
+		return Record{Host: host, Addr: "198.51.100.1", TTL: 30 * time.Second}, true
+	})
+	r := NewResolver(ResolverConfig{Name: "t", Seed: 2}, auth, clock.Now)
+	if _, err := r.Resolve("short.example", 0); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := r.Resolve("short.example", 0)
+	if !res.CacheHit {
+		t.Fatal("should hit within TTL")
+	}
+	clock.Advance(31 * time.Second)
+	res, _ = r.Resolve("short.example", 0)
+	if res.CacheHit {
+		t.Error("should miss after TTL expiry")
+	}
+}
+
+func TestWarmthIncreasesWithPopularity(t *testing.T) {
+	hot, cold := 0, 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		r := newTestResolver(ResolverConfig{Name: "t", Seed: int64(i), WarmQueryRate: 1}, nil)
+		if res, _ := r.Resolve("hot.example", 1.0); res.CacheHit {
+			hot++
+		}
+		if res, _ := r.Resolve("cold.example", 0.0001); res.CacheHit {
+			cold++
+		}
+	}
+	if hot <= cold {
+		t.Errorf("hot=%d cold=%d: warmth must grow with popularity", hot, cold)
+	}
+	if cold > n/4 {
+		t.Errorf("cold hits too frequent: %d/%d", cold, n)
+	}
+}
+
+func TestFragmentationLowersHitRate(t *testing.T) {
+	hosts := make([]string, 600)
+	for i := range hosts {
+		hosts[i] = DomainNameForTest(i)
+	}
+	pop := ZipfPopularity(hosts, 0.9)
+	mono := newTestResolver(ResolverConfig{Name: "mono", Seed: 7, WarmQueryRate: 1.2}, nil)
+	frag := newTestResolver(ResolverConfig{Name: "frag", Seed: 7, WarmQueryRate: 1.2, Shards: 8}, nil)
+	m := HitRateProbe(mono, hosts, pop, 25*time.Millisecond)
+	f := HitRateProbe(frag, hosts, pop, 25*time.Millisecond)
+	if f >= m {
+		t.Errorf("fragmented hit rate %.2f should be below monolithic %.2f", f, m)
+	}
+}
+
+// DomainNameForTest derives a distinct synthetic host.
+func DomainNameForTest(i int) string {
+	b := []byte("host-aaaa.example")
+	for j := 5; j < 9; j++ {
+		b[j] = byte('a' + (i>>(4*(j-5)))%16)
+	}
+	return string(b)
+}
+
+func TestNXDomain(t *testing.T) {
+	auth := AuthorityFunc(func(host string) (Record, bool) { return Record{}, false })
+	r := NewResolver(ResolverConfig{Name: "t", Seed: 3}, auth, nil)
+	if _, err := r.Resolve("nope.example", 0); err == nil {
+		t.Error("want NXDOMAIN error")
+	}
+}
+
+func TestFlushAndSize(t *testing.T) {
+	r := newTestResolver(ResolverConfig{Name: "t", Seed: 4}, nil)
+	for _, h := range []string{"a.x", "b.x", "c.x"} {
+		if _, err := r.Resolve(h, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.CacheSize() != 3 {
+		t.Errorf("cache size = %d", r.CacheSize())
+	}
+	r.Flush()
+	if r.CacheSize() != 0 {
+		t.Errorf("cache size after flush = %d", r.CacheSize())
+	}
+}
+
+func TestSyntheticAddrStable(t *testing.T) {
+	a := SyntheticAddr("www.example.com")
+	b := SyntheticAddr("www.example.com")
+	c := SyntheticAddr("other.example.com")
+	if a != b {
+		t.Error("address not stable")
+	}
+	if a == c {
+		t.Error("different hosts share an address (likely but not for these)")
+	}
+}
+
+func TestHitRateProbeSecondQueryAlwaysWarm(t *testing.T) {
+	// With zero warmth every first query misses; the probe should
+	// report ~0 hits.
+	r := newTestResolver(ResolverConfig{Name: "t", Seed: 5}, nil)
+	hosts := []string{"a.example", "b.example", "c.example"}
+	rate := HitRateProbe(r, hosts, nil, 25*time.Millisecond)
+	if rate != 0 {
+		t.Errorf("probe rate = %.2f, want 0 with cold cache", rate)
+	}
+}

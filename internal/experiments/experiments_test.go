@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// The integration test asserts the paper's *directions and rough
+// magnitudes* at reduced scale (150 sites, 10 URLs, 3 fetches). Exact
+// full-scale values are checked by eye against EXPERIMENTS.md via
+// cmd/papereval.
+
+var (
+	tctxOnce sync.Once
+	tctx     *Context
+)
+
+func testCtx(t *testing.T) *Context {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("integration experiments skipped in -short mode")
+	}
+	tctxOnce.Do(func() {
+		tctx = NewContext(Config{
+			Seed:              42,
+			Sites:             150,
+			PerSite:           10,
+			LandingFetches:    3,
+			CrawlPages:        500,
+			CrawlSample:       80,
+			StabilityUniverse: 60000,
+			StabilityWeeks:    3,
+			H2KSites:          200,
+			H2KPerSite:        20,
+			DNSProbeTop:       2000,
+		})
+	})
+	return tctx
+}
+
+func run(t *testing.T, id string) *Report {
+	t.Helper()
+	exp, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	rep, err := exp.Run(testCtx(t))
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if rep.ID != id || len(rep.Rows) == 0 {
+		t.Fatalf("%s: malformed report %+v", id, rep)
+	}
+	return rep
+}
+
+func between(t *testing.T, rep *Report, metric string, lo, hi float64) {
+	t.Helper()
+	v := rep.MustValue(metric)
+	if v < lo || v > hi {
+		t.Errorf("%s: %q = %.3f, want in [%.3f, %.3f]", rep.ID, metric, v, lo, hi)
+	}
+}
+
+func TestTable1Exact(t *testing.T) {
+	rep := run(t, "table1")
+	between(t, rep, "total publications", 920, 920)
+	between(t, rep, "total using top list", 119, 119)
+	between(t, rep, "needing revision fraction", 0.65, 0.66)
+}
+
+func TestFig2Directions(t *testing.T) {
+	a := run(t, "fig2a")
+	between(t, a, "frac sites landing larger (H1K)", 0.55, 0.75)
+	between(t, a, "geomean size ratio L/I", 1.15, 1.6)
+
+	b := run(t, "fig2b")
+	between(t, b, "frac sites landing more objects (H1K)", 0.55, 0.78)
+	between(t, b, "geomean object ratio L/I", 1.1, 1.45)
+
+	c := run(t, "fig2c")
+	// Landing pages are faster for most sites despite being heavier —
+	// the paper's central inversion.
+	between(t, c, "frac sites landing faster (H1K)", 0.5, 0.9)
+}
+
+func TestFig3a(t *testing.T) {
+	rep := run(t, "fig3a")
+	// Internal content displays more slowly in the median (paper: 14%).
+	between(t, rep, "median internal SI slower by", -0.05, 0.45)
+}
+
+func TestFig3bcCrawl(t *testing.T) {
+	rep := run(t, "fig3bc")
+	for _, label := range []string{"WP", "TW", "NY", "HS", "AC"} {
+		between(t, rep, label+" pages crawled", 400, 1e9)
+	}
+}
+
+func TestFig4Directions(t *testing.T) {
+	a := run(t, "fig4a")
+	// The 150-site test corpus covers only the top of the list, where
+	// the asymmetry peaks (Fig 10a), so the bands sit above the paper's
+	// full-list values.
+	between(t, a, "frac sites landing more non-cacheable", 0.55, 0.95)
+	between(t, a, "median ratio non-cacheable L/I", 1.1, 3.0)
+	// Cacheable-bytes fractions must stay comparable across page types.
+	l := a.MustValue("median cacheable-bytes frac landing")
+	i := a.MustValue("median cacheable-bytes frac internal")
+	if l < i-0.25 || l > i+0.25 {
+		t.Errorf("cacheable-bytes fractions diverge: %.2f vs %.2f", l, i)
+	}
+
+	b := run(t, "fig4b")
+	between(t, b, "median ratio CDN frac L/I", 0.95, 1.45)
+	between(t, b, "landing hits higher by", 0.0, 0.6)
+
+	c := run(t, "fig4c")
+	if c.MustValue("median JS frac internal") <= c.MustValue("median JS frac landing") {
+		t.Error("internal pages must carry relatively more JS bytes")
+	}
+	between(t, c, "landing image higher by", 0.1, 0.7)
+	between(t, c, "internal HTML/CSS higher by", 0.05, 0.5)
+}
+
+func TestFig5AndHandshakes(t *testing.T) {
+	f5 := run(t, "fig5")
+	between(t, f5, "frac sites landing more domains", 0.55, 0.95)
+	between(t, f5, "median ratio domains L/I", 1.05, 2.2)
+
+	f6c := run(t, "fig6c")
+	between(t, f6c, "landing handshakes more by (median)", 0.02, 0.5)
+	between(t, f6c, "landing handshake time more by (median)", 0.02, 0.6)
+}
+
+func TestDNSHitRates(t *testing.T) {
+	rep := run(t, "dns")
+	local := rep.MustValue("local resolver hit rate")
+	public := rep.MustValue("public resolver hit rate")
+	between(t, rep, "local resolver hit rate", 0.15, 0.5)
+	between(t, rep, "public resolver hit rate", 0.08, 0.4)
+	if public >= local {
+		t.Errorf("fragmented public resolver (%.2f) must hit less than the ISP resolver (%.2f)", public, local)
+	}
+}
+
+func TestFig6Structure(t *testing.T) {
+	a := run(t, "fig6a")
+	between(t, a, "landing depth-2 objects higher by (median)", 0.1, 0.9)
+
+	b := run(t, "fig6b")
+	between(t, b, "frac landing pages with >=1 hint", 0.55, 0.9)
+	between(t, b, "frac internal pages with no hints", 0.3, 0.65)
+}
+
+func TestFig7Wait(t *testing.T) {
+	rep := run(t, "fig7")
+	between(t, rep, "internal wait more by (median)", 0.02, 0.45)
+	if rep.MustValue("KS p") > 0.001 {
+		t.Errorf("wait distributions should differ significantly, p=%g", rep.MustValue("KS p"))
+	}
+}
+
+func TestFig8Security(t *testing.T) {
+	a := run(t, "fig8a")
+	between(t, a, "sites with HTTP landing (per 1000)", 5, 90)
+	between(t, a, "HTTPS-landing sites with >=1 HTTP internal (per 1000)", 80, 300)
+	between(t, a, "sites with >=1 mixed-content internal (per 1000)", 90, 330)
+	// Mixed content is far more common on internal pages than landing.
+	if a.MustValue("sites with mixed-content landing (per 1000)") >=
+		a.MustValue("sites with >=1 mixed-content internal (per 1000)") {
+		t.Error("mixed content should dominate on internal pages")
+	}
+
+	b := run(t, "fig8b")
+	between(t, b, "median unseen third parties", 5, 45)
+
+	c := run(t, "fig8c")
+	if c.MustValue("p80 tracking requests landing") <= c.MustValue("p80 tracking requests internal")-2 {
+		t.Error("landing pages should track at least as much as internal at p80")
+	}
+}
+
+func TestFig9And10(t *testing.T) {
+	f9 := run(t, "fig9")
+	if f9.MustValue("ΔPLT bins negative (landing faster)") < 4 {
+		t.Error("most rank bins should have landing faster")
+	}
+	f10 := run(t, "fig10ab")
+	if f10.MustValue("Δnoncacheables bin 3 (ranks 200-300)") <= f10.MustValue("Δnoncacheables last bin (ranks 900-1000)") {
+		t.Error("non-cacheable delta must decline with rank (Fig 10a)")
+	}
+	if f10.MustValue("Δdomains bin 3 (ranks 200-300)") <= f10.MustValue("Δdomains last bin (ranks 900-1000)") {
+		t.Error("domain delta must decline with rank (Fig 10b)")
+	}
+	f10c := run(t, "fig10c")
+	world := f10c.MustValue("frac World landing slower")
+	shopping := f10c.MustValue("frac Shopping landing faster")
+	if world < 0.4 {
+		t.Errorf("World landing-slower frac = %.2f, want the reversal", world)
+	}
+	if shopping < 0.5 {
+		t.Errorf("Shopping landing-faster frac = %.2f", shopping)
+	}
+}
+
+func TestStabilityAndCost(t *testing.T) {
+	st := run(t, "stability")
+	between(t, st, "mean weekly internal-URL churn", 0.1, 0.6)
+	between(t, st, "mean weekly H2K site churn", 0.03, 0.45)
+	between(t, st, "mean daily top-5K churn", 0.03, 0.3)
+
+	cost := run(t, "cost")
+	between(t, cost, "cost USD (scaled to 100K URLs)", 45, 100)
+	between(t, cost, "queries used (scaled to 100K URLs)", 10000, 22000)
+	between(t, cost, "cost USD for 500-site/50-URL study", 2, 20)
+}
+
+func TestSelectionStrategies(t *testing.T) {
+	rep := run(t, "selection")
+	search := rep.MustValue("search popularity share")
+	crawl := rep.MustValue("crawl popularity share")
+	if search <= crawl {
+		t.Errorf("search popularity share %.3f should exceed uniform crawl %.3f (§3: the bias Hispar wants)", search, crawl)
+	}
+	for _, strat := range []string{"search", "crawl", "monkey", "well-known"} {
+		between(t, rep, strat+" median-objects error", 0, 0.5)
+		between(t, rep, strat+" median-size error", 0, 0.6)
+	}
+}
+
+func TestLearningBiasDirection(t *testing.T) {
+	rep := run(t, "learning")
+	shift := rep.MustValue("bias shift: landing-model vs mixed-model on internal pages")
+	if shift > 0.02 {
+		t.Errorf("landing-trained model should under-predict internal PLT relative to a mixed model, shift = %+.3f", shift)
+	}
+}
+
+func TestReportPlumbing(t *testing.T) {
+	rep := run(t, "fig2a")
+	if rep.String() == "" {
+		t.Error("empty rendering")
+	}
+	if _, ok := rep.Row("no such metric"); ok {
+		t.Error("bogus row lookup succeeded")
+	}
+	if len(rep.Series) == 0 {
+		t.Error("fig2a should carry CDF series")
+	}
+	if len(All()) < 20 {
+		t.Errorf("experiment registry too small: %d", len(All()))
+	}
+	for _, e := range All() {
+		if _, ok := ByID(e.ID); !ok {
+			t.Errorf("registry inconsistency for %s", e.ID)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// metric accessors shared by several experiments.
+func mBytes(p *core.PageMeasurement) float64    { return float64(p.Bytes) }
+func mObjects(p *core.PageMeasurement) float64  { return float64(p.Objects) }
+func mPLT(p *core.PageMeasurement) float64      { return p.PLT.Seconds() }
+func mSI(p *core.PageMeasurement) float64       { return p.SpeedIndex.Seconds() }
+func mNonCache(p *core.PageMeasurement) float64 { return float64(p.NonCacheable) }
+func mDomains(p *core.PageMeasurement) float64  { return float64(p.UniqueDomains) }
+func mCDNFrac(p *core.PageMeasurement) float64  { return p.CDNByteFraction() }
+func mHandshakes(p *core.PageMeasurement) float64 {
+	return float64(p.Handshakes)
+}
+func mHandshakeTime(p *core.PageMeasurement) float64 {
+	return p.HandshakeTime.Seconds()
+}
+
+// deltas computes the per-site landing−internal-median difference of f.
+func deltas(sites []core.SiteResult, f func(*core.PageMeasurement) float64) []float64 {
+	out := make([]float64, 0, len(sites))
+	for i := range sites {
+		out = append(out, sites[i].Delta(f))
+	}
+	return out
+}
+
+// ratios computes the per-site landing/internal-median ratio of f,
+// dropping undefined entries.
+func ratios(sites []core.SiteResult, f func(*core.PageMeasurement) float64) []float64 {
+	out := make([]float64, 0, len(sites))
+	for i := range sites {
+		if r := sites[i].Ratio(f); r > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// fracPositive returns the fraction of xs strictly above zero.
+func fracPositive(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// landingValues and internalValues flatten a per-page metric over all
+// sites' landing (resp. internal) pages — the paper's two-sample CDFs.
+func landingValues(sites []core.SiteResult, f func(*core.PageMeasurement) float64) []float64 {
+	out := make([]float64, 0, len(sites))
+	for i := range sites {
+		out = append(out, f(&sites[i].Landing))
+	}
+	return out
+}
+
+func internalValues(sites []core.SiteResult, f func(*core.PageMeasurement) float64) []float64 {
+	var out []float64
+	for i := range sites {
+		for j := range sites[i].Internal {
+			out = append(out, f(&sites[i].Internal[j]))
+		}
+	}
+	return out
+}
+
+// cdfPoints renders an ECDF as plot points.
+func cdfPoints(xs []float64, n int) [][2]float64 {
+	return stats.NewECDF(xs).Points(n)
+}
+
+// waitSamples flattens per-object wait times (in milliseconds) for one
+// page type across the study.
+func waitSamples(sites []core.SiteResult, landing bool) []float64 {
+	var out []float64
+	for i := range sites {
+		if landing {
+			for _, w := range sites[i].Landing.WaitTimes {
+				out = append(out, float64(w)/float64(time.Millisecond))
+			}
+			continue
+		}
+		for j := range sites[i].Internal {
+			for _, w := range sites[i].Internal[j].WaitTimes {
+				out = append(out, float64(w)/float64(time.Millisecond))
+			}
+		}
+	}
+	return out
+}
+
+// ksP runs the KS test, returning 1 on degenerate input.
+func ksP(a, b []float64) float64 {
+	res, err := stats.KSTest(a, b)
+	if err != nil {
+		return 1
+	}
+	return res.P
+}

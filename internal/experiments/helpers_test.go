@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func fakeSites() []core.SiteResult {
+	mk := func(objs int, plt time.Duration) core.PageMeasurement {
+		return core.PageMeasurement{Objects: objs, PLT: plt, Bytes: int64(objs) * 10000}
+	}
+	return []core.SiteResult{
+		{
+			Landing:  mk(100, 900*time.Millisecond),
+			Internal: []core.PageMeasurement{mk(60, time.Second), mk(80, 2*time.Second), mk(70, 1500*time.Millisecond)},
+		},
+		{
+			Landing:  mk(50, 2*time.Second),
+			Internal: []core.PageMeasurement{mk(90, time.Second), mk(110, time.Second)},
+		},
+	}
+}
+
+func TestDeltasAndRatios(t *testing.T) {
+	sites := fakeSites()
+	d := deltas(sites, mObjects)
+	if len(d) != 2 || d[0] != 30 || d[1] != -50 {
+		t.Errorf("deltas = %v", d)
+	}
+	r := ratios(sites, mObjects)
+	if len(r) != 2 || r[0] != 100.0/70 || r[1] != 0.5 {
+		t.Errorf("ratios = %v", r)
+	}
+	if got := fracPositive(d); got != 0.5 {
+		t.Errorf("fracPositive = %v", got)
+	}
+	if got := fracPositive(nil); got != 0 {
+		t.Errorf("fracPositive(nil) = %v", got)
+	}
+}
+
+func TestValueFlattening(t *testing.T) {
+	sites := fakeSites()
+	l := landingValues(sites, mPLT)
+	if len(l) != 2 || l[0] != 0.9 {
+		t.Errorf("landingValues = %v", l)
+	}
+	in := internalValues(sites, mPLT)
+	if len(in) != 5 {
+		t.Errorf("internalValues = %v", in)
+	}
+	if got := stats.Median(in); got != 1 {
+		t.Errorf("median internal PLT = %v", got)
+	}
+}
+
+func TestSampleThinning(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := sample(xs, 100)
+	if len(s) != 100 {
+		t.Fatalf("sample = %d", len(s))
+	}
+	if s[0] != 0 || s[99] < 900 {
+		t.Errorf("sample not evenly spaced: first=%v last=%v", s[0], s[99])
+	}
+	if got := sample(xs[:50], 100); len(got) != 50 {
+		t.Error("short input should pass through")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	pts := cdfPoints([]float64{1, 2, 3, 4}, 5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0][0] != 1 || pts[4][0] != 4 || pts[4][1] != 1 {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+func TestKsPDegenerate(t *testing.T) {
+	if got := ksP(nil, []float64{1}); got != 1 {
+		t.Errorf("ksP on empty = %v, want 1", got)
+	}
+}
+
+func TestTopBottomSites(t *testing.T) {
+	res := &core.StudyResult{Sites: fakeSites()}
+	if got := TopSites(res, 1); len(got) != 1 || got[0].Landing.Objects != 100 {
+		t.Error("TopSites wrong")
+	}
+	if got := BottomSites(res, 1); len(got) != 1 || got[0].Landing.Objects != 50 {
+		t.Error("BottomSites wrong")
+	}
+	if got := TopSites(res, 99); len(got) != 2 {
+		t.Error("TopSites should clamp")
+	}
+}

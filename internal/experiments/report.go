@@ -1,0 +1,156 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner regenerates the corresponding result —
+// the same rows or series the paper reports — from the simulated
+// substrates, and returns it as a structured Report that cmd/papereval
+// prints and the test suite checks against the paper's direction and
+// rough magnitude.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Row is one reported quantity: the paper's value and ours.
+type Row struct {
+	Metric   string
+	Paper    string
+	Measured string
+	// Value carries the measured number for programmatic checks.
+	Value float64
+}
+
+// Report is one experiment's regenerated result.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []Row
+	// Series holds printable line series (e.g. CDF points or rank-bin
+	// medians), keyed by series name; each point is (x, y).
+	Series map[string][][2]float64
+}
+
+func (r *Report) addRow(metric, paper string, value float64, format string) {
+	r.Rows = append(r.Rows, Row{
+		Metric:   metric,
+		Paper:    paper,
+		Measured: fmt.Sprintf(format, value),
+		Value:    value,
+	})
+}
+
+func (r *Report) addSeries(name string, pts [][2]float64) {
+	if r.Series == nil {
+		r.Series = make(map[string][][2]float64)
+	}
+	r.Series[name] = pts
+}
+
+// Row returns the row with the given metric name.
+func (r *Report) Row(metric string) (Row, bool) {
+	for _, row := range r.Rows {
+		if row.Metric == metric {
+			return row, true
+		}
+	}
+	return Row{}, false
+}
+
+// MustValue returns the measured value for metric, panicking if absent —
+// convenience for tests.
+func (r *Report) MustValue(metric string) float64 {
+	row, ok := r.Row(metric)
+	if !ok {
+		panic(fmt.Sprintf("experiments: report %s has no row %q", r.ID, metric))
+	}
+	return row.Value
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	w1, w2 := len("metric"), len("paper")
+	for _, row := range r.Rows {
+		if len(row.Metric) > w1 {
+			w1 = len(row.Metric)
+		}
+		if len(row.Paper) > w2 {
+			w2 = len(row.Paper)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-*s  %s\n", w1, "metric", w2, "paper", "measured")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-*s  %-*s  %s\n", w1, row.Metric, w2, row.Paper, row.Measured)
+	}
+	if len(r.Series) > 0 {
+		names := make([]string, 0, len(r.Series))
+		for n := range r.Series {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			pts := r.Series[n]
+			fmt.Fprintf(&b, "series %s (%d pts):", n, len(pts))
+			step := 1
+			if len(pts) > 8 {
+				step = len(pts) / 8
+			}
+			for i := 0; i < len(pts); i += step {
+				fmt.Fprintf(&b, " (%.3g, %.3g)", pts[i][0], pts[i][1])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Experiment names one table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ctx *Context) (*Report, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Survey of 2015–2019 web-perf. studies (Fig 1 / Table 1)", RunTable1},
+		{"fig2a", "Landing vs internal page size", RunFig2a},
+		{"fig2b", "Landing vs internal object count", RunFig2b},
+		{"fig2c", "Landing vs internal page-load time", RunFig2c},
+		{"fig3a", "Speed Index (Ht30)", RunFig3a},
+		{"fig3bc", "Limited exhaustive crawl of five sites", RunFig3bc},
+		{"fig4a", "Non-cacheable objects", RunFig4a},
+		{"fig4b", "CDN-delivered bytes and cache hits", RunFig4b},
+		{"fig4c", "Content mix by category", RunFig4c},
+		{"fig5", "Multi-origin content (unique domains)", RunFig5},
+		{"dns", "Resolver cache hit rates (§5.3)", RunDNSHitRate},
+		{"fig6a", "Objects by dependency depth", RunFig6a},
+		{"fig6b", "Resource hints", RunFig6b},
+		{"fig6c", "Handshakes", RunFig6c},
+		{"fig7", "Per-object wait time", RunFig7},
+		{"fig8a", "HTTP landing/internal pages and mixed content", RunFig8a},
+		{"fig8b", "Third parties unseen on landing pages", RunFig8b},
+		{"fig8c", "Trackers and header bidding", RunFig8c},
+		{"fig9", "Rank trends: PLT, size, objects (Fig 9)", RunFig9},
+		{"fig10ab", "Rank trend reversals: non-cacheables, domains (Fig 10a/b)", RunFig10ab},
+		{"fig10c", "PLT delta by category: World vs Shopping (Fig 10c)", RunFig10c},
+		{"ablation", "What-if optimization asymmetry (§5 implications)", RunAblation},
+		{"selection", "Internal-page selection strategies (§7)", RunSelection},
+		{"learning", "Learned PLT model: landing-only training bias (§7)", RunLearning},
+		{"stability", "Hispar two-level stability (§3)", RunStability},
+		{"cost", "List building cost (§7)", RunCost},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/webgen"
+)
+
+// binnedDeltaSeries computes the per-rank-bin median of the per-site
+// landing−internal delta of f (the appendix's Δμ plots).
+func binnedDeltaSeries(sites []core.SiteResult, f func(*core.PageMeasurement) float64, binSize int) []stats.Bin {
+	ranks := make([]int, len(sites))
+	vals := make([]float64, len(sites))
+	for i := range sites {
+		ranks[i] = i + 1 // position in the list, as in the paper's bins
+		vals[i] = sites[i].Delta(f)
+	}
+	return stats.BinnedMedians(ranks, vals, binSize)
+}
+
+func seriesFromBins(bins []stats.Bin) [][2]float64 {
+	out := make([][2]float64, 0, len(bins))
+	for i, b := range bins {
+		out = append(out, [2]float64{float64(i + 1), b.Median})
+	}
+	return out
+}
+
+// RunFig9 reproduces Fig 9: rank-bin medians of ΔPLT, Δsize, and
+// Δobjects over H1K in bins of 100 ranks. Paper: ΔPLT is negative
+// (landing faster) for most bins but flips positive (up to ~+100ms)
+// around ranks 400–600; Δsize and Δobjects stay positive but their
+// magnitude varies substantially with rank.
+func RunFig9(ctx *Context) (*Report, error) {
+	res, err := ctx.Study()
+	if err != nil {
+		return nil, err
+	}
+	binSize := len(res.Sites) / 10
+	if binSize < 1 {
+		binSize = 1
+	}
+	r := &Report{ID: "fig9", Title: "Rank trends: ΔPLT, Δsize, Δobjects (Fig 9)"}
+
+	plt := binnedDeltaSeries(res.Sites, mPLT, binSize)
+	size := binnedDeltaSeries(res.Sites, mBytes, binSize)
+	objs := binnedDeltaSeries(res.Sites, mObjects, binSize)
+
+	negBins, posBins, midPos := 0, 0, false
+	for i, b := range plt {
+		if b.Median < 0 {
+			negBins++
+		} else if b.Median > 0 {
+			posBins++
+			if i >= 3 && i <= 6 {
+				midPos = true
+			}
+		}
+	}
+	r.addRow("ΔPLT bins negative (landing faster)", "most", float64(negBins), "%.0f")
+	r.addRow("ΔPLT bins positive", "few, mid-rank", float64(posBins), "%.0f")
+	r.addRow("ΔPLT mid-rank (bins 4-7) reversal present", "yes (ranks 400-600)", boolVal(midPos), "%.0f")
+	allPosSize := 0
+	for _, b := range size {
+		if b.Median > 0 {
+			allPosSize++
+		}
+	}
+	r.addRow("Δsize bins positive", "all/nearly all", float64(allPosSize), "%.0f")
+	r.addRow("Δobjects median range", "varies 10-30 (fig)", objs[len(objs)/2].Median, "%.0f (mid bin)")
+
+	r.addSeries("ΔPLT (s) by rank bin", seriesFromBins(plt))
+	sizeMB := make([]stats.Bin, len(size))
+	copy(sizeMB, size)
+	for i := range sizeMB {
+		sizeMB[i].Median /= 1e6
+	}
+	r.addSeries("Δsize (MB) by rank bin", seriesFromBins(sizeMB))
+	r.addSeries("Δobjects by rank bin", seriesFromBins(objs))
+	return r, nil
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RunFig10ab reproduces Figs 10a/10b: rank-trend reversals for
+// non-cacheable objects and unique domains. Paper: around ranks 200–300
+// landing pages have ~24 more non-cacheable objects and ~11 more unique
+// domains than internal pages; by ranks 900–1000 the differences turn
+// negative (≈−8 and −2).
+func RunFig10ab(ctx *Context) (*Report, error) {
+	res, err := ctx.Study()
+	if err != nil {
+		return nil, err
+	}
+	binSize := len(res.Sites) / 10
+	if binSize < 1 {
+		binSize = 1
+	}
+	r := &Report{ID: "fig10ab", Title: "Trend reversals: Δnoncacheables, Δdomains (Fig 10a/b)"}
+	nc := binnedDeltaSeries(res.Sites, mNonCache, binSize)
+	dom := binnedDeltaSeries(res.Sites, mDomains, binSize)
+
+	early := func(bins []stats.Bin) float64 {
+		if len(bins) >= 3 {
+			return bins[2].Median
+		}
+		return bins[0].Median
+	}
+	late := func(bins []stats.Bin) float64 { return bins[len(bins)-1].Median }
+	r.addRow("Δnoncacheables bin 3 (ranks 200-300)", "+24", early(nc), "%.0f")
+	r.addRow("Δnoncacheables last bin (ranks 900-1000)", "-8", late(nc), "%.0f")
+	r.addRow("Δdomains bin 3 (ranks 200-300)", "+11", early(dom), "%.0f")
+	r.addRow("Δdomains last bin (ranks 900-1000)", "-2", late(dom), "%.0f")
+	r.addSeries("Δnoncacheables by rank bin", seriesFromBins(nc))
+	r.addSeries("Δdomains by rank bin", seriesFromBins(dom))
+	return r, nil
+}
+
+// RunFig10c reproduces Fig 10c: the PLT delta split by Alexa category.
+// Paper: in the Shopping category ~77% of sites have landing pages
+// faster than internal pages; in the World category the trend reverses —
+// ~70% of sites have landing pages *slower* than internal pages, because
+// those sites are served far from the US vantage point and their objects
+// rarely hit nearby CDN caches.
+func RunFig10c(ctx *Context) (*Report, error) {
+	res, err := ctx.Study()
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig10c", Title: "PLT delta by category (Fig 10c)"}
+	byCat := func(cat webgen.Category) []float64 {
+		var out []float64
+		for i := range res.Sites {
+			if res.Sites[i].Category == string(cat) {
+				out = append(out, res.Sites[i].Delta(mPLT))
+			}
+		}
+		return out
+	}
+	world := byCat(webgen.CatWorld)
+	shopping := byCat(webgen.CatShopping)
+	if len(world) == 0 || len(shopping) == 0 {
+		return nil, fmt.Errorf("experiments: study too small for category split (world=%d shopping=%d)", len(world), len(shopping))
+	}
+	r.addRow("frac World landing slower", "0.70", fracPositive(world), "%.2f")
+	r.addRow("frac Shopping landing faster", "0.77", 1-fracPositive(shopping), "%.2f")
+	r.addRow("World sites measured", "n/a", float64(len(world)), "%.0f")
+	r.addRow("Shopping sites measured", "n/a", float64(len(shopping)), "%.0f")
+	r.addSeries("World ΔPLT (s)", cdfPoints(world, 25))
+	r.addSeries("Shopping ΔPLT (s)", cdfPoints(shopping, 25))
+	return r, nil
+}

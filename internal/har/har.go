@@ -1,0 +1,215 @@
+// Package har implements the subset of the HTTP Archive (HAR) 1.2 format
+// that the measurement study consumes: per-request timing phases, response
+// metadata, and page-level Navigation Timing marks. HAR files are the
+// paper's primary measurement artifact — every analysis in §4–§6 is
+// computed from HAR entries plus the page DOM.
+package har
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Timings is the HAR timing phase breakdown for one request. All values
+// are durations; -1 (encoded as a negative duration) means "not
+// applicable" per the HAR spec, e.g. ssl on a plaintext connection or
+// dns/connect on a reused connection.
+type Timings struct {
+	Blocked time.Duration `json:"blocked"`
+	DNS     time.Duration `json:"dns"`
+	Connect time.Duration `json:"connect"`
+	SSL     time.Duration `json:"ssl"`
+	Send    time.Duration `json:"send"`
+	Wait    time.Duration `json:"wait"`
+	Receive time.Duration `json:"receive"`
+}
+
+// NotApplicable marks a phase that did not occur.
+const NotApplicable = time.Duration(-1)
+
+func dur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Total returns the request's total time: the sum of all applicable phases.
+func (t Timings) Total() time.Duration {
+	return dur(t.Blocked) + dur(t.DNS) + dur(t.Connect) + dur(t.SSL) +
+		dur(t.Send) + dur(t.Wait) + dur(t.Receive)
+}
+
+// Handshake returns connect+ssl, the study's definition of handshake time.
+func (t Timings) Handshake() time.Duration { return dur(t.Connect) + dur(t.SSL) }
+
+// NewConnection reports whether this request opened a new transport
+// connection (i.e. paid a TCP, and possibly TLS, handshake).
+func (t Timings) NewConnection() bool { return t.Connect > 0 }
+
+// Header is one HTTP header name/value pair.
+type Header struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Entry is one fetched object. It mirrors the HAR "entry" object with the
+// fields the study needs, plus two extensions (prefixed "_" per HAR
+// convention, exposed as plain fields here): the initiator URL and the
+// dependency depth.
+type Entry struct {
+	StartedAt time.Time `json:"startedDateTime"`
+	Time      time.Duration
+	Request   Request  `json:"request"`
+	Response  Response `json:"response"`
+	Timings   Timings  `json:"timings"`
+	ServerIP  string   `json:"serverIPAddress,omitempty"`
+
+	// Initiator is the URL of the object whose processing triggered this
+	// fetch ("" for the root document). Mirrors the Chrome DevTools
+	// requestWillBeSent initiator the paper used to build dependency
+	// graphs (§5.4).
+	Initiator string `json:"_initiator,omitempty"`
+	// Depth is the shortest-path depth from the root document (root = 0).
+	Depth int `json:"_depth"`
+}
+
+// Request is the HAR request record.
+type Request struct {
+	Method  string   `json:"method"`
+	URL     string   `json:"url"`
+	Headers []Header `json:"headers,omitempty"`
+}
+
+// Response is the HAR response record.
+type Response struct {
+	Status   int      `json:"status"`
+	Headers  []Header `json:"headers,omitempty"`
+	MIMEType string   `json:"content_mimeType"`
+	BodySize int64    `json:"bodySize"`
+}
+
+// HeaderValue returns the first value of the named header
+// (case-insensitive per HTTP), or "".
+func (r Response) HeaderValue(name string) string {
+	for _, h := range r.Headers {
+		if equalFold(h.Name, name) {
+			return h.Value
+		}
+	}
+	return ""
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// PageTimings carries the Navigation Timing marks used by the study.
+// All marks are offsets from navigationStart.
+type PageTimings struct {
+	// FirstPaint is when the browser rendered the first pixel; the study
+	// defines PLT as navigationStart→firstPaint (§4).
+	FirstPaint time.Duration `json:"firstPaint"`
+	// OnLoad is when the load event fired (all sub-resources done).
+	OnLoad time.Duration `json:"onLoad"`
+	// SpeedIndex is the WebPagetest Speed Index: the integral of the
+	// visually-incomplete fraction over time (§4, Fig 3a).
+	SpeedIndex time.Duration `json:"_speedIndex"`
+}
+
+// Page is the HAR page record.
+type Page struct {
+	ID              string      `json:"id"`
+	URL             string      `json:"title"`
+	NavigationStart time.Time   `json:"startedDateTime"`
+	Timings         PageTimings `json:"pageTimings"`
+}
+
+// Log is a HAR log: one page plus its entries. (The study fetches one
+// page per browser session, so a Log always holds exactly one Page.)
+type Log struct {
+	Page    Page    `json:"page"`
+	Entries []Entry `json:"entries"`
+}
+
+// TotalBytes returns the page size as the study defines it: the sum of
+// response body sizes of all entries (§4).
+func (l *Log) TotalBytes() int64 {
+	var n int64
+	for i := range l.Entries {
+		n += l.Entries[i].Response.BodySize
+	}
+	return n
+}
+
+// ObjectCount returns the number of entries, the study's proxy for page
+// structure (§4).
+func (l *Log) ObjectCount() int { return len(l.Entries) }
+
+// DepthCounts returns how many objects sit at each dependency depth,
+// indexed by depth (capped at maxDepth; deeper objects count in the last
+// bucket).
+func (l *Log) DepthCounts(maxDepth int) []int {
+	counts := make([]int, maxDepth+1)
+	for i := range l.Entries {
+		d := l.Entries[i].Depth
+		if d > maxDepth {
+			d = maxDepth
+		}
+		if d < 0 {
+			d = 0
+		}
+		counts[d]++
+	}
+	return counts
+}
+
+// WriteJSON serializes the log as JSON (a HAR-shaped document).
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(harDoc{Version: "1.2", Creator: creator{Name: "hispar-repro", Version: "1.0"}, Log: l}); err != nil {
+		return fmt.Errorf("har: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a log written by WriteJSON.
+func ReadJSON(r io.Reader) (*Log, error) {
+	var doc harDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("har: decode: %w", err)
+	}
+	if doc.Log == nil {
+		return nil, fmt.Errorf("har: document has no log")
+	}
+	return doc.Log, nil
+}
+
+type creator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+type harDoc struct {
+	Version string  `json:"version"`
+	Creator creator `json:"creator"`
+	Log     *Log    `json:"log"`
+}

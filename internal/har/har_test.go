@@ -1,0 +1,135 @@
+package har
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func sampleLog() *Log {
+	nav := time.Date(2020, 3, 12, 9, 0, 0, 0, time.UTC)
+	return &Log{
+		Page: Page{
+			ID:              "https://example.com/#0",
+			URL:             "https://example.com/",
+			NavigationStart: nav,
+			Timings: PageTimings{
+				FirstPaint: 800 * time.Millisecond,
+				OnLoad:     2 * time.Second,
+				SpeedIndex: 1200 * time.Millisecond,
+			},
+		},
+		Entries: []Entry{
+			{
+				StartedAt: nav,
+				Time:      300 * time.Millisecond,
+				Request:   Request{Method: "GET", URL: "https://example.com/"},
+				Response: Response{Status: 200, MIMEType: "text/html", BodySize: 50000,
+					Headers: []Header{{Name: "Cache-Control", Value: "no-cache"}}},
+				Timings: Timings{Blocked: 0, DNS: 20 * time.Millisecond, Connect: 30 * time.Millisecond,
+					SSL: 60 * time.Millisecond, Send: time.Millisecond, Wait: 100 * time.Millisecond,
+					Receive: 89 * time.Millisecond},
+				Depth: 0,
+			},
+			{
+				StartedAt: nav.Add(350 * time.Millisecond),
+				Time:      120 * time.Millisecond,
+				Request:   Request{Method: "GET", URL: "https://static.example.com/app.js"},
+				Response:  Response{Status: 200, MIMEType: "application/javascript", BodySize: 120000},
+				Timings: Timings{Blocked: 2 * time.Millisecond, DNS: NotApplicable,
+					Connect: NotApplicable, SSL: NotApplicable, Send: time.Millisecond,
+					Wait: 40 * time.Millisecond, Receive: 77 * time.Millisecond},
+				Initiator: "https://example.com/",
+				Depth:     1,
+			},
+			{
+				StartedAt: nav.Add(500 * time.Millisecond),
+				Time:      80 * time.Millisecond,
+				Request:   Request{Method: "GET", URL: "https://img.example.com/a.png"},
+				Response:  Response{Status: 200, MIMEType: "image/png", BodySize: 30000},
+				Timings:   Timings{Wait: 30 * time.Millisecond, Receive: 50 * time.Millisecond},
+				Initiator: "https://static.example.com/app.js",
+				Depth:     2,
+			},
+		},
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	l := sampleLog()
+	if got := l.TotalBytes(); got != 200000 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	if got := l.ObjectCount(); got != 3 {
+		t.Errorf("ObjectCount = %d", got)
+	}
+	dc := l.DepthCounts(5)
+	if dc[0] != 1 || dc[1] != 1 || dc[2] != 1 {
+		t.Errorf("DepthCounts = %v", dc)
+	}
+	// Depths beyond the cap collapse into the last bucket.
+	l.Entries[2].Depth = 9
+	if got := l.DepthCounts(5); got[5] != 1 {
+		t.Errorf("capped DepthCounts = %v", got)
+	}
+}
+
+func TestTimings(t *testing.T) {
+	e := sampleLog().Entries[0]
+	if got := e.Timings.Handshake(); got != 90*time.Millisecond {
+		t.Errorf("Handshake = %v", got)
+	}
+	if !e.Timings.NewConnection() {
+		t.Error("first request should be a new connection")
+	}
+	reused := sampleLog().Entries[1]
+	if reused.Timings.NewConnection() {
+		t.Error("reused connection misdetected")
+	}
+	if got := reused.Timings.Total(); got != 120*time.Millisecond {
+		t.Errorf("Total = %v (NotApplicable must count as zero)", got)
+	}
+}
+
+func TestHeaderValue(t *testing.T) {
+	r := sampleLog().Entries[0].Response
+	if got := r.HeaderValue("cache-CONTROL"); got != "no-cache" {
+		t.Errorf("HeaderValue case-insensitive = %q", got)
+	}
+	if got := r.HeaderValue("X-Missing"); got != "" {
+		t.Errorf("missing header = %q", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Page.URL != l.Page.URL || len(got.Entries) != len(l.Entries) {
+		t.Fatalf("round trip lost data: %+v", got.Page)
+	}
+	if got.Entries[1].Timings.DNS != NotApplicable {
+		t.Errorf("NotApplicable not preserved: %v", got.Entries[1].Timings.DNS)
+	}
+	if got.Page.Timings.SpeedIndex != l.Page.Timings.SpeedIndex {
+		t.Errorf("SpeedIndex lost: %v", got.Page.Timings.SpeedIndex)
+	}
+	if got.Entries[2].Depth != l.Entries[2].Depth {
+		t.Errorf("depth lost")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{")); err == nil {
+		t.Error("want error for truncated JSON")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"version":"1.2"}`)); err == nil {
+		t.Error("want error for missing log")
+	}
+}

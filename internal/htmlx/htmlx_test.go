@@ -1,0 +1,145 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="generator" content="webgen">
+<title>The Title</title>
+<link rel="dns-prefetch" href="https://cdn.example.net">
+<link rel="preconnect" href="https://fonts.example.net">
+<link rel="preload" as="style" href="https://x.com/a.css">
+<link rel="preload" as="font" href="https://fonts.example.net/f.woff2">
+<link rel="prefetch" href="/next.js">
+<link rel="prerender" href="/next-page">
+<link rel="stylesheet" href="/style.css">
+<script src="/app.js"></script>
+<script src="/lazy.js" async></script>
+<script>var inline = 1;</script>
+</head>
+<body>
+<div class="ad-slot" id="slot-0"></div>
+<div class="hb-slot"></div>
+<img src="/img/a.jpg" alt="x">
+<IMG SRC='/img/b.png'>
+<iframe src="https://ads.example.com/frame"></iframe>
+<video src="/clip.mp4"></video>
+<a href="/page1">one</a>
+<a href='https://other.com/page2'>two</a>
+<!-- <img src="/commented-out.gif"> -->
+<p>text with < stray bracket</p>
+</body>
+</html>`
+
+func TestParseExtractsEverything(t *testing.T) {
+	d := Parse(sampleDoc)
+	if d.Title != "The Title" {
+		t.Errorf("Title = %q", d.Title)
+	}
+	if d.InlineScripts != 1 {
+		t.Errorf("InlineScripts = %d, want 1", d.InlineScripts)
+	}
+	if d.AdSlots != 2 {
+		t.Errorf("AdSlots = %d, want 2", d.AdSlots)
+	}
+	if got := d.Metas["generator"]; got != "webgen" {
+		t.Errorf("meta generator = %q", got)
+	}
+	if len(d.Hints) != 6 {
+		t.Fatalf("hints = %d, want 6: %+v", len(d.Hints), d.Hints)
+	}
+	types := map[HintType]int{}
+	for _, h := range d.Hints {
+		types[h.Type]++
+	}
+	if types[HintDNSPrefetch] != 1 || types[HintPreconnect] != 1 ||
+		types[HintPreload] != 2 || types[HintPrefetch] != 1 || types[HintPrerender] != 1 {
+		t.Errorf("hint type counts = %v", types)
+	}
+
+	kinds := map[ResourceKind][]string{}
+	for _, r := range d.Resources {
+		kinds[r.Kind] = append(kinds[r.Kind], r.URL)
+	}
+	if len(kinds[KindStylesheet]) != 1 || kinds[KindStylesheet][0] != "/style.css" {
+		t.Errorf("stylesheets = %v", kinds[KindStylesheet])
+	}
+	if len(kinds[KindScript]) != 2 {
+		t.Errorf("scripts = %v", kinds[KindScript])
+	}
+	if len(kinds[KindImage]) != 2 {
+		t.Errorf("images = %v (commented-out image must be skipped)", kinds[KindImage])
+	}
+	if len(kinds[KindIframe]) != 1 || len(kinds[KindMedia]) != 1 {
+		t.Errorf("iframes=%v media=%v", kinds[KindIframe], kinds[KindMedia])
+	}
+	if len(kinds[KindFont]) != 1 {
+		t.Errorf("fonts = %v (preload as=font)", kinds[KindFont])
+	}
+	if len(d.Links) != 2 {
+		t.Errorf("links = %v", d.Links)
+	}
+}
+
+func TestAsyncFlag(t *testing.T) {
+	d := Parse(`<script src="/a.js"></script><script src="/b.js" async></script><script src="/c.js" defer></script>`)
+	if len(d.Resources) != 3 {
+		t.Fatalf("resources = %d", len(d.Resources))
+	}
+	if d.Resources[0].Async || !d.Resources[1].Async || !d.Resources[2].Async {
+		t.Errorf("async flags = %v %v %v", d.Resources[0].Async, d.Resources[1].Async, d.Resources[2].Async)
+	}
+}
+
+func TestScriptBodyNotScanned(t *testing.T) {
+	d := Parse(`<script>document.write('<img src="/fake.png">');</script><img src="/real.png">`)
+	if len(d.Resources) != 1 || d.Resources[0].URL != "/real.png" {
+		t.Errorf("resources = %+v, want only /real.png", d.Resources)
+	}
+	if d.InlineScripts != 1 {
+		t.Errorf("InlineScripts = %d", d.InlineScripts)
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	cases := []string{
+		"",
+		"<",
+		"<<<>>>",
+		"<img src=",
+		`<img src="unterminated`,
+		"<!-- unterminated comment <img src=x>",
+		"<a href=/bare>link</a>",
+		"<script src=/x.js>never closed",
+		strings.Repeat("<div>", 1000),
+	}
+	for _, c := range cases {
+		d := Parse(c) // must not panic or hang
+		if d == nil {
+			t.Errorf("Parse(%.20q) returned nil", c)
+		}
+	}
+	// Unquoted attribute value.
+	d := Parse("<a href=/bare>link</a>")
+	if len(d.Links) != 1 || d.Links[0] != "/bare" {
+		t.Errorf("unquoted href links = %v", d.Links)
+	}
+}
+
+func TestSelfClosingScript(t *testing.T) {
+	d := Parse(`<script src="/a.js"/><img src="/b.png">`)
+	if len(d.Resources) != 2 {
+		t.Errorf("self-closing script swallowed following content: %+v", d.Resources)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindScript.String() != "script" || ResourceKind(99).String() != "other" {
+		t.Error("kind names wrong")
+	}
+}

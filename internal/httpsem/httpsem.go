@@ -1,0 +1,140 @@
+// Package httpsem implements the HTTP caching semantics the study uses to
+// count cacheable objects (§5.1): a practical subset of RFC 7234 keyed on
+// request method, response status, and Cache-Control / Expires / Pragma
+// headers — the same signal set the MDN "cacheable" definition the paper
+// cites describes.
+package httpsem
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// cacheableStatus lists response codes cacheable by default (RFC 7231
+// §6.1).
+var cacheableStatus = map[int]bool{
+	200: true, 203: true, 204: true, 206: true, 300: true,
+	301: true, 404: true, 405: true, 410: true, 414: true, 501: true,
+}
+
+// Directives is a parsed Cache-Control header.
+type Directives struct {
+	NoStore         bool
+	NoCache         bool
+	Private         bool
+	Public          bool
+	MaxAge          time.Duration
+	HasMaxAge       bool
+	SMaxAge         time.Duration
+	HasSMaxAge      bool
+	MustRevalidate  bool
+	Immutable       bool
+	StaleWhileReval time.Duration
+}
+
+// ParseCacheControl parses a Cache-Control header value.
+func ParseCacheControl(v string) Directives {
+	var d Directives
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(strings.ToLower(part))
+		if part == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(part, "=")
+		key = strings.TrimSpace(key)
+		val = strings.Trim(strings.TrimSpace(val), `"`)
+		switch key {
+		case "no-store":
+			d.NoStore = true
+		case "no-cache":
+			d.NoCache = true
+		case "private":
+			d.Private = true
+		case "public":
+			d.Public = true
+		case "must-revalidate":
+			d.MustRevalidate = true
+		case "immutable":
+			d.Immutable = true
+		case "max-age":
+			if hasVal {
+				if secs, err := strconv.Atoi(val); err == nil {
+					d.MaxAge = time.Duration(secs) * time.Second
+					d.HasMaxAge = true
+				}
+			}
+		case "s-maxage":
+			if hasVal {
+				if secs, err := strconv.Atoi(val); err == nil {
+					d.SMaxAge = time.Duration(secs) * time.Second
+					d.HasSMaxAge = true
+				}
+			}
+		case "stale-while-revalidate":
+			if hasVal {
+				if secs, err := strconv.Atoi(val); err == nil {
+					d.StaleWhileReval = time.Duration(secs) * time.Second
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Response is the minimal response view the classifier needs.
+type Response struct {
+	Method       string // request method
+	Status       int
+	CacheControl string
+	Pragma       string
+	Expires      string // raw Expires header
+	Date         string // raw Date header
+}
+
+// Cacheable reports whether the response may be stored by a shared or
+// private cache, per the study's definition of a cacheable object.
+func Cacheable(r Response) bool {
+	m := strings.ToUpper(r.Method)
+	if m != "" && m != "GET" && m != "HEAD" {
+		return false
+	}
+	if !cacheableStatus[r.Status] {
+		return false
+	}
+	d := ParseCacheControl(r.CacheControl)
+	switch {
+	case d.NoStore:
+		return false
+	case d.NoCache:
+		// Storable but must revalidate every use; the study counts these
+		// as non-cacheable since they cannot be served without a round
+		// trip.
+		return false
+	case d.HasMaxAge && d.MaxAge <= 0 && !d.HasSMaxAge:
+		return false
+	case strings.Contains(strings.ToLower(r.Pragma), "no-cache") && r.CacheControl == "":
+		return false
+	}
+	if d.HasMaxAge || d.HasSMaxAge || d.Public || d.Immutable {
+		return true
+	}
+	if r.Expires != "" {
+		exp, err1 := time.Parse(time.RFC1123, r.Expires)
+		if err1 != nil {
+			// Historical servers send "0" or malformed dates: treat as
+			// already expired.
+			return false
+		}
+		base := time.Now()
+		if r.Date != "" {
+			if dt, err := time.Parse(time.RFC1123, r.Date); err == nil {
+				base = dt
+			}
+		}
+		return exp.After(base)
+	}
+	// Heuristic freshness (RFC 7234 §4.2.2): responses without explicit
+	// freshness are cacheable by default for cacheable statuses.
+	return !d.Private
+}

@@ -1,0 +1,66 @@
+package httpsem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseCacheControl(t *testing.T) {
+	d := ParseCacheControl("public, max-age=86400, stale-while-revalidate=60")
+	if !d.Public || !d.HasMaxAge || d.MaxAge != 86400*time.Second || d.StaleWhileReval != time.Minute {
+		t.Errorf("directives = %+v", d)
+	}
+	d = ParseCacheControl("no-store")
+	if !d.NoStore {
+		t.Error("no-store not parsed")
+	}
+	d = ParseCacheControl("private, max-age=0, must-revalidate")
+	if !d.Private || !d.HasMaxAge || d.MaxAge != 0 || !d.MustRevalidate {
+		t.Errorf("directives = %+v", d)
+	}
+	d = ParseCacheControl(`s-maxage="120", immutable`)
+	if !d.HasSMaxAge || d.SMaxAge != 120*time.Second || !d.Immutable {
+		t.Errorf("directives = %+v", d)
+	}
+	// Malformed values are ignored.
+	d = ParseCacheControl("max-age=banana, no-cache")
+	if d.HasMaxAge || !d.NoCache {
+		t.Errorf("directives = %+v", d)
+	}
+}
+
+func TestCacheable(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Response
+		want bool
+	}{
+		{"plain 200 GET", Response{Method: "GET", Status: 200}, true},
+		{"max-age", Response{Method: "GET", Status: 200, CacheControl: "public, max-age=86400"}, true},
+		{"no-store", Response{Method: "GET", Status: 200, CacheControl: "no-store"}, false},
+		{"no-cache", Response{Method: "GET", Status: 200, CacheControl: "no-cache"}, false},
+		{"max-age=0", Response{Method: "GET", Status: 200, CacheControl: "private, max-age=0"}, false},
+		{"s-maxage rescues max-age=0", Response{Method: "GET", Status: 200, CacheControl: "max-age=0, s-maxage=60"}, true},
+		{"POST", Response{Method: "POST", Status: 200}, false},
+		{"HEAD ok", Response{Method: "HEAD", Status: 200}, true},
+		{"204", Response{Method: "GET", Status: 204}, true},
+		{"500", Response{Method: "GET", Status: 500}, false},
+		{"302", Response{Method: "GET", Status: 302}, false},
+		{"301", Response{Method: "GET", Status: 301}, true},
+		{"404", Response{Method: "GET", Status: 404}, true},
+		{"pragma no-cache", Response{Method: "GET", Status: 200, Pragma: "no-cache"}, false},
+		{"pragma ignored when CC present", Response{Method: "GET", Status: 200, Pragma: "no-cache", CacheControl: "max-age=60"}, true},
+		{"private heuristic", Response{Method: "GET", Status: 200, CacheControl: "private"}, false},
+		{"immutable", Response{Method: "GET", Status: 200, CacheControl: "immutable"}, true},
+		{"expires 0", Response{Method: "GET", Status: 200, Expires: "0"}, false},
+		{"future expires", Response{Method: "GET", Status: 200,
+			Expires: time.Now().Add(time.Hour).UTC().Format(time.RFC1123), Date: time.Now().UTC().Format(time.RFC1123)}, true},
+		{"past expires", Response{Method: "GET", Status: 200,
+			Expires: "Mon, 02 Jan 2006 15:04:05 UTC", Date: "Mon, 02 Jan 2006 16:04:05 UTC"}, false},
+	}
+	for _, c := range cases {
+		if got := Cacheable(c.r); got != c.want {
+			t.Errorf("%s: Cacheable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

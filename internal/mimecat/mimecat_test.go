@@ -1,0 +1,52 @@
+package mimecat
+
+import "testing"
+
+func TestOf(t *testing.T) {
+	cases := []struct {
+		mime string
+		want Category
+	}{
+		{"text/html", CatHTMLCSS},
+		{"text/html; charset=utf-8", CatHTMLCSS},
+		{"TEXT/CSS", CatHTMLCSS},
+		{"application/xhtml+xml", CatHTMLCSS},
+		{"image/png", CatImage},
+		{"image/webp", CatImage},
+		{"application/javascript", CatJS},
+		{"text/javascript", CatJS},
+		{"application/json", CatJSON},
+		{"application/ld+json", CatJSON},
+		{"font/woff2", CatFont},
+		{"application/font-woff", CatFont},
+		{"audio/mpeg", CatAudio},
+		{"video/mp4", CatVideo},
+		{"text/plain", CatData},
+		{"application/octet-stream", CatData},
+		{"", CatUnknown},
+		{"application/x-shockwave-flash", CatUnknown},
+	}
+	for _, c := range cases {
+		if got := Of(c.mime); got != c.want {
+			t.Errorf("Of(%q) = %v, want %v", c.mime, got, c.want)
+		}
+	}
+}
+
+func TestAllAndString(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("All() = %d categories, want the paper's nine", len(all))
+	}
+	seen := map[string]bool{}
+	for _, c := range all {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Errorf("category %d has bad/duplicate name %q", c, s)
+		}
+		seen[s] = true
+	}
+	if Category(99).String() != "unknown" {
+		t.Error("out-of-range category should stringify as unknown")
+	}
+}

@@ -1,0 +1,136 @@
+// Package robots parses robots.txt files (the original 1994 exclusion
+// standard the paper cites) and answers allow/deny queries for a user
+// agent. Search engines and the polite crawler consult it before
+// fetching (§3).
+package robots
+
+import (
+	"strings"
+	"time"
+)
+
+// Group is the rule set for one set of user agents.
+type Group struct {
+	Agents     []string // lowercase User-agent values ("*" for any)
+	Disallows  []string // path prefixes
+	Allows     []string // path prefixes (more specific wins)
+	CrawlDelay time.Duration
+}
+
+// File is a parsed robots.txt.
+type File struct {
+	Groups []Group
+}
+
+// Parse reads robots.txt content. Unknown directives are ignored, as the
+// standard requires.
+func Parse(content string) *File {
+	f := &File{}
+	var cur *Group
+	sawRule := false
+	for _, line := range strings.Split(content, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "user-agent":
+			if cur == nil || sawRule {
+				f.Groups = append(f.Groups, Group{})
+				cur = &f.Groups[len(f.Groups)-1]
+				sawRule = false
+			}
+			cur.Agents = append(cur.Agents, strings.ToLower(val))
+		case "disallow":
+			if cur == nil {
+				continue
+			}
+			sawRule = true
+			if val != "" {
+				cur.Disallows = append(cur.Disallows, val)
+			}
+		case "allow":
+			if cur == nil {
+				continue
+			}
+			sawRule = true
+			if val != "" {
+				cur.Allows = append(cur.Allows, val)
+			}
+		case "crawl-delay":
+			if cur == nil {
+				continue
+			}
+			sawRule = true
+			if d, err := time.ParseDuration(val + "s"); err == nil {
+				cur.CrawlDelay = d
+			}
+		}
+	}
+	return f
+}
+
+// group returns the most specific group for the agent: an exact (prefix)
+// agent match beats the wildcard group.
+func (f *File) group(agent string) *Group {
+	agent = strings.ToLower(agent)
+	var wildcard *Group
+	for i := range f.Groups {
+		for _, a := range f.Groups[i].Agents {
+			if a == "*" {
+				if wildcard == nil {
+					wildcard = &f.Groups[i]
+				}
+				continue
+			}
+			if strings.Contains(agent, a) {
+				return &f.Groups[i]
+			}
+		}
+	}
+	return wildcard
+}
+
+// Allowed reports whether the agent may fetch path. Longest-match wins
+// between Allow and Disallow, per the de-facto standard.
+func (f *File) Allowed(agent, path string) bool {
+	g := f.group(agent)
+	if g == nil {
+		return true
+	}
+	if path == "" {
+		path = "/"
+	}
+	bestAllow, bestDis := -1, -1
+	for _, a := range g.Allows {
+		if strings.HasPrefix(path, a) && len(a) > bestAllow {
+			bestAllow = len(a)
+		}
+	}
+	for _, d := range g.Disallows {
+		if strings.HasPrefix(path, d) && len(d) > bestDis {
+			bestDis = len(d)
+		}
+	}
+	if bestDis < 0 {
+		return true
+	}
+	return bestAllow >= bestDis
+}
+
+// CrawlDelay returns the crawl delay for the agent (0 if unspecified).
+func (f *File) CrawlDelay(agent string) time.Duration {
+	if g := f.group(agent); g != nil {
+		return g.CrawlDelay
+	}
+	return 0
+}

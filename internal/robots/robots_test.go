@@ -1,0 +1,99 @@
+package robots
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+const sample = `
+# example robots file
+User-agent: *
+Disallow: /private/
+Disallow: /tmp/
+Allow: /private/press/
+Crawl-delay: 5
+
+User-agent: hispar-repro
+Disallow: /no-repro/
+`
+
+func TestParseAndAllowed(t *testing.T) {
+	f := Parse(sample)
+	if len(f.Groups) != 2 {
+		t.Fatalf("groups = %d", len(f.Groups))
+	}
+	cases := []struct {
+		agent, path string
+		want        bool
+	}{
+		{"SomeBot/1.0", "/", true},
+		{"SomeBot/1.0", "/private/x", false},
+		{"SomeBot/1.0", "/private/press/release", true}, // Allow beats Disallow by length
+		{"SomeBot/1.0", "/tmp/a", false},
+		{"SomeBot/1.0", "/public", true},
+		{"hispar-repro/1.0", "/no-repro/x", false},
+		{"hispar-repro/1.0", "/private/x", true}, // specific group replaces wildcard
+	}
+	for _, c := range cases {
+		if got := f.Allowed(c.agent, c.path); got != c.want {
+			t.Errorf("Allowed(%q, %q) = %v, want %v", c.agent, c.path, got, c.want)
+		}
+	}
+	if got := f.CrawlDelay("SomeBot"); got != 5*time.Second {
+		t.Errorf("CrawlDelay = %v", got)
+	}
+	if got := f.CrawlDelay("hispar-repro"); got != 0 {
+		t.Errorf("specific-group CrawlDelay = %v", got)
+	}
+}
+
+func TestEmptyAndMalformed(t *testing.T) {
+	f := Parse("")
+	if !f.Allowed("any", "/x") {
+		t.Error("empty file must allow everything")
+	}
+	f = Parse("Disallow: /orphan-rule-without-agent\nnonsense line\nUser-agent *\n")
+	if !f.Allowed("any", "/orphan-rule-without-agent") {
+		t.Error("rules before any user-agent must be ignored")
+	}
+}
+
+func TestEmptyDisallowMeansAllowAll(t *testing.T) {
+	f := Parse("User-agent: *\nDisallow:\n")
+	if !f.Allowed("bot", "/anything") {
+		t.Error("empty Disallow allows everything")
+	}
+}
+
+// TestRoundTripWithGenerator parses generated robots.txt files and
+// checks agreement with the generator's ground-truth exclusions.
+func TestRoundTripWithGenerator(t *testing.T) {
+	u := toplist.NewUniverse(toplist.Config{Seed: 121, Size: 400})
+	entries := u.Top(30)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: 121, Sites: seeds})
+	checkedDisallowed := 0
+	for _, s := range web.Sites {
+		f := Parse(s.RobotsTxt())
+		for i := 1; i <= s.PoolSize(); i++ {
+			p := s.PageAt(i)
+			allowed := f.Allowed("hispar-repro", p.Path())
+			if allowed == p.Disallowed() {
+				t.Fatalf("%s%s: parser says allowed=%v, ground truth disallowed=%v",
+					s.Domain, p.Path(), allowed, p.Disallowed())
+			}
+			if p.Disallowed() {
+				checkedDisallowed++
+			}
+		}
+	}
+	if checkedDisallowed == 0 {
+		t.Skip("no disallowed pages at this seed")
+	}
+}

@@ -1,0 +1,93 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTTOrdering(t *testing.T) {
+	m := New(Config{Seed: 1, JitterFrac: 0.001})
+	edge := m.RTT(LocEdge)
+	east := m.RTT(LocUSEast)
+	asia := m.RTT(LocAsia)
+	if !(edge < east && east < asia) {
+		t.Errorf("RTT ordering violated: edge=%v east=%v asia=%v", edge, east, asia)
+	}
+	if unknown := m.RTT(Loc(99)); unknown <= 0 {
+		t.Errorf("unknown loc RTT = %v", unknown)
+	}
+}
+
+func TestHandshakeCosts(t *testing.T) {
+	m := New(Config{Seed: 2, JitterFrac: 0.001})
+	rtt := 100 * time.Millisecond
+	c := m.ConnectTime(rtt)
+	if c < 90*time.Millisecond || c > 110*time.Millisecond {
+		t.Errorf("ConnectTime = %v, want ~1 RTT", c)
+	}
+	tls12 := m.TLSTime(rtt, false)
+	tls13 := m.TLSTime(rtt, true)
+	if tls12 < 200*time.Millisecond {
+		t.Errorf("TLS 1.2 = %v, want ~2 RTT", tls12)
+	}
+	if tls13 >= tls12 {
+		t.Errorf("TLS 1.3 (%v) must be cheaper than 1.2 (%v)", tls13, tls12)
+	}
+}
+
+func TestReceiveTimeSlowStartVsBandwidth(t *testing.T) {
+	m := New(Config{Seed: 3, ConnBandwidth: 10e6})
+	rtt := 80 * time.Millisecond
+	small := m.ReceiveTime(5_000, rtt)
+	big := m.ReceiveTime(5_000_000, rtt)
+	if small >= big {
+		t.Errorf("small %v >= big %v", small, big)
+	}
+	// A 5 MB object at 10 Mb/s is bandwidth-bound: ~4 s.
+	if big < 3*time.Second || big > 6*time.Second {
+		t.Errorf("big transfer = %v, want ~4s", big)
+	}
+	// A tiny object is RTT-bound, not instantaneous.
+	if small <= 0 {
+		t.Errorf("small transfer = %v", small)
+	}
+	if m.ReceiveTime(0, rtt) != 0 {
+		t.Error("zero size should cost nothing")
+	}
+}
+
+func TestReceiveTimeMonotonicInSize(t *testing.T) {
+	m := New(Config{Seed: 4})
+	rtt := 50 * time.Millisecond
+	prev := time.Duration(0)
+	for _, size := range []int64{1_000, 20_000, 200_000, 2_000_000, 20_000_000} {
+		got := m.ReceiveTime(size, rtt)
+		if got < prev {
+			t.Errorf("ReceiveTime(%d) = %v < previous %v", size, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestThinkTimesPositive(t *testing.T) {
+	m := New(Config{Seed: 5})
+	for i := 0; i < 100; i++ {
+		if m.OriginThink() <= 0 || m.StaticThink() <= 0 || m.SendTime() <= 0 {
+			t.Fatal("non-positive think/send time")
+		}
+	}
+}
+
+func TestWaitTimeComposition(t *testing.T) {
+	m := New(Config{Seed: 6, JitterFrac: 0.001})
+	w := m.WaitTime(50*time.Millisecond, 30*time.Millisecond, 100*time.Millisecond)
+	if w < 150*time.Millisecond || w > 220*time.Millisecond {
+		t.Errorf("WaitTime = %v, want ~180ms", w)
+	}
+}
+
+func TestLocString(t *testing.T) {
+	if LocAsia.String() != "asia" || Loc(99).String() != "unknown" {
+		t.Error("Loc names wrong")
+	}
+}

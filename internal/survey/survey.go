@@ -1,0 +1,278 @@
+// Package survey reproduces the paper's literature survey (§2, Table 1 /
+// Fig 1): 920 papers published 2015–2019 at five premier networking
+// venues, programmatically searched for top-list terms, manually reviewed
+// for internal-page usage, and scored on an ordinal revision scale.
+//
+// The package carries two layers: the curated survey dataset (the paper's
+// own Table 1 numbers, which are themselves data, not measurement), and a
+// term-matching pipeline over paper texts that reproduces the *method* —
+// including the false-positive classes the paper describes (e.g. "Alexa"
+// Echo devices, top lists mentioned only in related work).
+package survey
+
+import (
+	"sort"
+	"strings"
+)
+
+// Venue identifies one of the five surveyed conferences.
+type Venue string
+
+// The surveyed venues.
+const (
+	IMC     Venue = "IMC"
+	PAM     Venue = "PAM"
+	NSDI    Venue = "NSDI"
+	SIGCOMM Venue = "SIGCOMM"
+	CoNEXT  Venue = "CoNEXT"
+)
+
+// Venues lists the surveyed venues in the paper's table order.
+func Venues() []Venue { return []Venue{IMC, PAM, NSDI, SIGCOMM, CoNEXT} }
+
+// Revision is the ordinal revision score (§2).
+type Revision int
+
+// Revision scores.
+const (
+	NoRevision Revision = iota
+	MinorRevision
+	MajorRevision
+)
+
+// String returns the paper's label for the score.
+func (r Revision) String() string {
+	switch r {
+	case NoRevision:
+		return "No revision"
+	case MinorRevision:
+		return "Minor revision"
+	case MajorRevision:
+		return "Major revision"
+	default:
+		return "Unknown"
+	}
+}
+
+// VenueCounts is one row of Table 1.
+type VenueCounts struct {
+	Venue        Venue
+	Publications int // papers published 2015–2019
+	UsingTopList int // papers using at least one top list
+	Major        int
+	Minor        int
+	None         int
+}
+
+// Dataset returns the paper's Table 1, verbatim.
+func Dataset() []VenueCounts {
+	return []VenueCounts{
+		{Venue: IMC, Publications: 214, UsingTopList: 56, Major: 9, Minor: 23, None: 24},
+		{Venue: PAM, Publications: 117, UsingTopList: 27, Major: 7, Minor: 10, None: 10},
+		{Venue: NSDI, Publications: 222, UsingTopList: 11, Major: 6, Minor: 4, None: 1},
+		{Venue: SIGCOMM, Publications: 187, UsingTopList: 9, Major: 1, Minor: 6, None: 2},
+		{Venue: CoNEXT, Publications: 180, UsingTopList: 16, Major: 7, Minor: 5, None: 4},
+	}
+}
+
+// Totals aggregates the dataset. The paper reports: 920 papers total, 119
+// using a top list, of which 15 include internal pages; of the remaining
+// 104, the revision split is 41 none / 48 minor / 30 major over all 119.
+type Totals struct {
+	Publications int
+	UsingTopList int
+	Major        int
+	Minor        int
+	None         int
+}
+
+// Total sums the dataset rows.
+func Total(rows []VenueCounts) Totals {
+	var t Totals
+	for _, r := range rows {
+		t.Publications += r.Publications
+		t.UsingTopList += r.UsingTopList
+		t.Major += r.Major
+		t.Minor += r.Minor
+		t.None += r.None
+	}
+	return t
+}
+
+// NeedingRevisionFraction returns the fraction of top-list papers whose
+// claims require at least a minor revision to apply to internal pages —
+// the paper's headline "nearly two-thirds".
+func NeedingRevisionFraction(rows []VenueCounts) float64 {
+	t := Total(rows)
+	if t.UsingTopList == 0 {
+		return 0
+	}
+	return float64(t.Major+t.Minor) / float64(t.UsingTopList)
+}
+
+// ---- Term-matching pipeline ----
+
+// topListTerms are the search terms used to locate candidate papers
+// (§2): the five top lists the literature uses.
+var topListTerms = []string{"alexa", "majestic", "umbrella", "quantcast", "tranco"}
+
+// Paper is one publication in a corpus.
+type Paper struct {
+	Venue Venue
+	Year  int
+	Title string
+	// Text is the paper's extracted full text (the PDF-to-text analogue).
+	Text string
+
+	// Ground-truth labels used to score the pipeline in tests (set by
+	// the corpus generator; empty in real use).
+	TrueUsesTopList bool
+	TrueRevision    Revision
+	UsesInternal    bool
+}
+
+// MatchResult is the pipeline outcome for one paper.
+type MatchResult struct {
+	Paper        *Paper
+	MatchedTerms []string
+	// FalsePositive marks papers whose matches are all consumer-device
+	// mentions ("Alexa Echo") or related-work citations.
+	FalsePositive bool
+}
+
+// ScanCorpus runs the programmatic term search over a corpus and returns
+// the papers with at least one top-list term match, flagging the
+// false-positive classes the paper weeded out by manual inspection.
+func ScanCorpus(corpus []*Paper) []MatchResult {
+	var out []MatchResult
+	for _, p := range corpus {
+		text := strings.ToLower(p.Text)
+		var matched []string
+		for _, term := range topListTerms {
+			if strings.Contains(text, term) {
+				matched = append(matched, term)
+			}
+		}
+		if len(matched) == 0 {
+			continue
+		}
+		out = append(out, MatchResult{
+			Paper:         p,
+			MatchedTerms:  matched,
+			FalsePositive: isFalsePositive(text, matched),
+		})
+	}
+	return out
+}
+
+// isFalsePositive applies the paper's manual-inspection rules
+// mechanically: a match is spurious when every matched term appears only
+// in a consumer-device context or only inside the related-work section.
+func isFalsePositive(text string, matched []string) bool {
+	for _, term := range matched {
+		genuine := false
+		for idx := 0; ; {
+			i := strings.Index(text[idx:], term)
+			if i < 0 {
+				break
+			}
+			pos := idx + i
+			window := contextWindow(text, pos, 60)
+			deviceMention := strings.Contains(window, "echo") || strings.Contains(window, "voice assistant") || strings.Contains(window, "smart speaker")
+			relatedWork := strings.Contains(window, "related work") || strings.Contains(window, "prior work discusses")
+			if !deviceMention && !relatedWork {
+				genuine = true
+				break
+			}
+			idx = pos + len(term)
+		}
+		if genuine {
+			return false
+		}
+	}
+	return true
+}
+
+func contextWindow(text string, pos, radius int) string {
+	lo := pos - radius
+	if lo < 0 {
+		lo = 0
+	}
+	hi := pos + radius
+	if hi > len(text) {
+		hi = len(text)
+	}
+	return text[lo:hi]
+}
+
+// Review scores a scanned paper on the ordinal revision scale using the
+// rubric of §2, driven by textual markers the corpus generator plants
+// (trace-based study, mixed data sources, page-performance focus,
+// landing-page-only evaluation, internal-page inclusion).
+func Review(r MatchResult) (Revision, bool) {
+	if r.FalsePositive {
+		return NoRevision, false
+	}
+	text := strings.ToLower(r.Paper.Text)
+	usesInternal := strings.Contains(text, "internal pages") ||
+		strings.Contains(text, "browsing traces of real users") ||
+		strings.Contains(text, "monkey testing") ||
+		strings.Contains(text, "recursively crawl")
+	if usesInternal {
+		return NoRevision, true // already covers internal pages
+	}
+	switch {
+	case strings.Contains(text, "uses the top list only to rank") ||
+		strings.Contains(text, "mixes in data from other sources"):
+		return NoRevision, false
+	case strings.Contains(text, "page-load time") || strings.Contains(text, "page load optimization") ||
+		strings.Contains(text, "web page delivery") || strings.Contains(text, "landing pages only"):
+		return MajorRevision, false
+	default:
+		return MinorRevision, false
+	}
+}
+
+// Tabulate runs the full pipeline over a corpus and produces Table 1 rows.
+func Tabulate(corpus []*Paper) []VenueCounts {
+	byVenue := make(map[Venue]*VenueCounts)
+	for _, v := range Venues() {
+		byVenue[v] = &VenueCounts{Venue: v}
+	}
+	for _, p := range corpus {
+		if vc, ok := byVenue[p.Venue]; ok {
+			vc.Publications++
+		}
+	}
+	for _, r := range ScanCorpus(corpus) {
+		vc, ok := byVenue[r.Paper.Venue]
+		if !ok || r.FalsePositive {
+			continue
+		}
+		vc.UsingTopList++
+		rev, _ := Review(r)
+		switch rev {
+		case MajorRevision:
+			vc.Major++
+		case MinorRevision:
+			vc.Minor++
+		default:
+			vc.None++
+		}
+	}
+	rows := make([]VenueCounts, 0, len(byVenue))
+	for _, v := range Venues() {
+		rows = append(rows, *byVenue[v])
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return venueOrder(rows[i].Venue) < venueOrder(rows[j].Venue) })
+	return rows
+}
+
+func venueOrder(v Venue) int {
+	for i, x := range Venues() {
+		if x == v {
+			return i
+		}
+	}
+	return len(Venues())
+}

@@ -1,0 +1,88 @@
+// Package urlx contains small URL helpers shared by the crawler, browser,
+// search engine, and Hispar list builder.
+package urlx
+
+import (
+	"net/url"
+	"strings"
+)
+
+// Normalize canonicalizes raw for use as a page identity: lowercases the
+// scheme and host, strips default ports, drops fragments, and ensures a
+// non-empty path ("/" for the root). It returns the input unchanged (and
+// false) when it cannot be parsed as an absolute http(s) URL.
+func Normalize(raw string) (string, bool) {
+	u, err := url.Parse(raw)
+	if err != nil || !u.IsAbs() {
+		return raw, false
+	}
+	scheme := strings.ToLower(u.Scheme)
+	if scheme != "http" && scheme != "https" {
+		return raw, false
+	}
+	u.Scheme = scheme
+	u.Host = strings.ToLower(u.Host)
+	switch {
+	case scheme == "http" && strings.HasSuffix(u.Host, ":80"):
+		u.Host = strings.TrimSuffix(u.Host, ":80")
+	case scheme == "https" && strings.HasSuffix(u.Host, ":443"):
+		u.Host = strings.TrimSuffix(u.Host, ":443")
+	}
+	u.Fragment = ""
+	if u.Path == "" {
+		u.Path = "/"
+	}
+	return u.String(), true
+}
+
+// Resolve resolves ref against base and normalizes the result. It returns
+// false for unparsable or non-http(s) results.
+func Resolve(base, ref string) (string, bool) {
+	b, err := url.Parse(base)
+	if err != nil {
+		return "", false
+	}
+	r, err := url.Parse(strings.TrimSpace(ref))
+	if err != nil {
+		return "", false
+	}
+	return Normalize(b.ResolveReference(r).String())
+}
+
+// Host returns the lowercase hostname (without port) of raw, or "".
+func Host(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+// IsLandingPage reports whether raw is a landing page: the root document
+// ("/", possibly with an empty query) of its host.
+func IsLandingPage(raw string) bool {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return false
+	}
+	return (u.Path == "/" || u.Path == "") && u.RawQuery == ""
+}
+
+// IsHTTPS reports whether raw uses the https scheme.
+func IsHTTPS(raw string) bool {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return false
+	}
+	return strings.EqualFold(u.Scheme, "https")
+}
+
+// WithScheme returns raw with its scheme replaced.
+func WithScheme(raw, scheme string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return raw
+	}
+	u.Scheme = scheme
+	return u.String()
+}

@@ -1,0 +1,352 @@
+package webgen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cdn"
+)
+
+// cdnProviderNames caches the provider roster for host classification.
+var cdnProviderNames = func() []string {
+	ps := cdn.Providers()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}()
+
+// ContentMix is the byte share of the paper's coarse content groups
+// (§5.2, Fig 4c). Other covers the six minor categories combined
+// (audio, data, font, JSON, video, unknown).
+type ContentMix struct {
+	JS      float64
+	Image   float64
+	HTMLCSS float64
+	Other   float64
+}
+
+func (m ContentMix) normalize() ContentMix {
+	s := m.JS + m.Image + m.HTMLCSS + m.Other
+	if s <= 0 {
+		return ContentMix{JS: 0.45, Image: 0.3, HTMLCSS: 0.16, Other: 0.09}
+	}
+	return ContentMix{JS: m.JS / s, Image: m.Image / s, HTMLCSS: m.HTMLCSS / s, Other: m.Other / s}
+}
+
+// DepthMix is the fraction of a page's objects at each dependency depth
+// beyond 1 (the remainder sits at depth 1). §5.4, Fig 6a.
+type DepthMix struct {
+	D2, D3, D4, D5 float64
+}
+
+// Profile holds every sampled structural parameter for one site. Each
+// field's calibration target cites the paper figure it reproduces.
+// Performance (PLT, SpeedIndex, wait, handshake time, CDN hit rates) is
+// intentionally absent: it emerges from the simulators.
+type Profile struct {
+	// ObjInternal is the site's median internal-page object count;
+	// ObjRatio is landing/internal. Fig 2b: geo-mean ratio ≈1.24;
+	// landing has more objects for 57% of Ht30 and ~68% of H1K sites.
+	ObjInternal float64
+	ObjRatio    float64
+
+	// BytesInternal is the median internal-page total size; SizeRatio is
+	// landing/internal. Fig 2a: geo-mean ≈1.34; landing larger for 54%
+	// (Ht30) to ~65% (H1K) of sites. Correlated with ObjRatio so that
+	// only ~5% of sites have fewer-but-heavier landing pages.
+	BytesInternal float64
+	SizeRatio     float64
+
+	// Content mixes. Fig 4c: internal pages have relatively +10% JS,
+	// +22% HTML/CSS, and landing +36% image bytes.
+	MixLanding  ContentMix
+	MixInternal ContentMix
+
+	// Non-cacheable objects. Fig 4a: landing has ~40% more non-cacheable
+	// objects in the median (66% of sites more), with the rank-trend
+	// reversal of Fig 10a; cacheable *bytes* fractions stay similar.
+	NCFracInternal float64 // fraction of internal-page objects that are non-cacheable
+	NCCountRatio   float64 // landing/internal non-cacheable count ratio
+
+	// Unique origins. Fig 5: landing contacts ~29% more unique domains
+	// in the median (67% of sites), reversing at the bottom (Fig 10b).
+	DomainsInternal float64
+	DomainsRatio    float64
+
+	// CDN placement. Fig 4b: landing pages have ~13% higher CDN-byte
+	// fraction (57% of sites). CDNProvider is the provider fronting the
+	// site's static subdomains ("" = no CDN contract).
+	CDNFracInternal float64
+	CDNFracRatio    float64
+	CDNProvider     string
+	// DocViaCDN marks sites that front their HTML through the CDN
+	// (common at the top of the list: think news sites behind Fastly).
+	// The landing document is then usually edge-cached while per-article
+	// documents miss — a major PLT lever (§5.1/§5.6).
+	DocViaCDN bool
+
+	// Resource hints. Fig 6b: 69% of landing pages use ≥1 hint; 45%
+	// (52% in Ht100) of internal pages use none.
+	HintsLanding  int
+	HintsInternal int
+
+	// Dependency depths (Fig 6a): landing pages have ~38% more objects
+	// at depth 2 in the median and fatter depth-4/5 tails.
+	DepthLanding  DepthMix
+	DepthInternal DepthMix
+
+	// Third parties (Fig 8b): internal pages collectively contact a
+	// median of 18 third-party domains never seen on the landing page,
+	// with a 10% tail ≥80. TPPoolSize is the site's full third-party
+	// roster; landing pages use the head of the roster.
+	TPPoolSize int
+
+	// Trackers (Fig 8c): landing 80th-pct ≈28 tracking requests vs ≈20
+	// for internal; ~10% of sites track only on the landing page.
+	TrackersLanding  float64 // per-page mean
+	TrackersInternal float64
+
+	// Security (§6.1, Fig 8a): 36/1000 sites serve the landing page over
+	// HTTP; 170 HTTPS-landing sites have ≥1 HTTP internal page among 19
+	// measured; mixed content on 35 landing pages vs 194 sites with ≥1
+	// mixed internal page.
+	HTTPLanding       bool
+	HTTPInternalProb  float64 // per-internal-page probability of plain HTTP
+	MixedLanding      bool
+	MixedInternalProb float64 // per-internal-HTTPS-page probability of passive mixed content
+
+	// Header bidding (§6.3): of 200 sites, 17 had HB ads on the landing
+	// page and 12 more only on internal pages; ad slots 80th-pct 9
+	// (landing) vs 7 (internal).
+	HBLanding      bool
+	HBInternalOnly bool
+	AdSlotsLanding int
+	AdSlotsIntern  int
+
+	// FewEnglish marks sites whose site: query yields <10 English
+	// results; the Hispar builder drops them (§3).
+	FewEnglish bool
+
+	// DisallowFrac is the fraction of internal pages under robots.txt
+	// Disallow rules: search engines never surface them and polite
+	// crawlers skip them (§3's "except pages disallowed via robots.txt").
+	DisallowFrac float64
+
+	// InsecureRedirectProb is the per-internal-page probability that an
+	// HTTPS URL redirects to a plain-HTTP page on a *different* domain —
+	// the paper's amazon.com/birminghamjobs → amazon.jobs case (§6.1).
+	InsecureRedirectProb float64
+
+	// LandingPopBoost multiplies the landing page's global request
+	// popularity; it is the mechanism behind the §5.1 CDN-hit asymmetry.
+	LandingPopBoost float64
+
+	// Landing-page hand-optimization (§4: "web developers optimize the
+	// landing-page design more meticulously"): critical CSS is inlined so
+	// only BlockingCSSLanding of the landing page's stylesheets block
+	// first paint, and a larger share of landing scripts load async.
+	// Internal pages get template defaults (all CSS blocks).
+	BlockingCSSLanding float64
+	AsyncJSLanding     float64
+	AsyncJSInternal    float64
+
+	// TLS13 marks sites whose servers negotiate TLS 1.3 (1-RTT
+	// handshakes); the 2020 web was mid-migration.
+	TLS13 bool
+}
+
+// sampleProfile draws a site profile. rank is the Alexa-style rank
+// (1-based; large = unpopular); cat the site category. The rank
+// interpolation parameter t runs 0 at the top of H1K to 1 at rank 1000+,
+// matching the paper's rank-bin trends (Figs 9–10).
+func sampleProfile(rng *rand.Rand, rank int, cat Category) Profile {
+	t := clamp01(float64(rank) / 1000.0)
+	var p Profile
+
+	// --- Structure: object count and size (Figs 2a/2b/9b/9c) ---
+	p.ObjInternal = logNormal(rng, 72, 0.45)
+	if p.ObjInternal < 15 {
+		p.ObjInternal = 15
+	}
+	// Correlated landing/internal ratios: shared factor keeps
+	// "fewer objects but larger" sites to ~5% (Fig 2a vs 2b discussion).
+	zc := rng.NormFloat64()
+	zObj := 0.92*zc + 0.39*rng.NormFloat64()
+	zSize := 0.92*zc + 0.39*rng.NormFloat64()
+	pObj := lerp(0.57, 0.70, math.Pow(t, 0.15))
+	pSize := lerp(0.54, 0.68, math.Pow(t, 0.3))
+	// Mild rank bumpiness so the per-bin medians wiggle as in Fig 9.
+	bump := 0.06 * math.Sin(6.0*t)
+	if cat == CatWorld {
+		// World landing pages skew portal-style heavy, which — combined
+		// with far origins and cold US edges — is why their landing
+		// pages are generally slower (Fig 10c).
+		bump += 0.38
+	}
+	p.ObjRatio = math.Exp(0.45*invPhi(pObj) + 0.45*zObj + bump)
+	p.SizeRatio = math.Exp(0.76*invPhi(pSize) + 0.76*zSize + bump)
+	p.BytesInternal = p.ObjInternal / 72 * logNormal(rng, 1.6e6, 0.5)
+	if p.BytesInternal < 1.2e5 {
+		p.BytesInternal = 1.2e5
+	}
+
+	// --- Content mix (Fig 4c) ---
+	jitter := func(v float64) float64 { return v * math.Exp(rng.NormFloat64()*0.22) }
+	p.MixLanding = ContentMix{JS: jitter(0.45), Image: jitter(0.30), HTMLCSS: jitter(0.16), Other: jitter(0.09)}.normalize()
+	p.MixInternal = ContentMix{JS: jitter(0.50), Image: jitter(0.22), HTMLCSS: jitter(0.195), Other: jitter(0.085)}.normalize()
+
+	// --- Cacheability (Figs 4a/10a) ---
+	p.NCFracInternal = clamp01(logNormal(rng, 0.32, 0.35))
+	if p.NCFracInternal > 0.8 {
+		p.NCFracInternal = 0.8
+	}
+	muNC := 1.15 - 1.45*t
+	p.NCCountRatio = math.Exp(muNC + rng.NormFloat64()*0.55)
+
+	// --- Origins (Figs 5/10b) ---
+	p.DomainsInternal = logNormal(rng, 19, 0.40)
+	if p.DomainsInternal < 4 {
+		p.DomainsInternal = 4
+	}
+	muDom := 0.80 - 0.80*t
+	p.DomainsRatio = math.Exp(muDom + rng.NormFloat64()*0.40)
+
+	// --- CDN (Fig 4b) ---
+	adoption := clamp01(lerp(0.62, 0.40, t) * math.Exp(rng.NormFloat64()*0.28))
+	if cat == CatWorld {
+		// Sites popular outside the US contract CDNs less (and their
+		// CDNs have little presence near the vantage point anyway).
+		adoption *= 0.55
+	}
+	p.CDNFracInternal = clamp01(adoption * 0.85)
+	// The 1.35 median compensates for landing pages' larger third-party
+	// share (mostly origin-served), which dilutes the realized CDN byte
+	// fraction; the measured median ratio lands near the paper's 1.13.
+	p.CDNFracRatio = math.Exp(math.Log(1.35) + rng.NormFloat64()*0.45)
+	if adoption > 0.15 {
+		p.CDNProvider = cdnProviderNames[rng.Intn(len(cdnProviderNames))]
+		docP := lerp(0.68, 0.46, t)
+		if cat == CatShopping {
+			// Conversion-sensitive storefronts front their HTML
+			// aggressively (the Fig 10c Shopping tail).
+			docP = lerp(0.92, 0.55, t)
+		}
+		p.DocViaCDN = cat != CatWorld && rng.Float64() < docP
+	}
+
+	// --- Resource hints (Fig 6b) ---
+	if rng.Float64() < lerp(0.80, 0.64, t) {
+		p.HintsLanding = 1 + geometric(rng, 0.24) // mean ≈ 4.2, tail to ~30
+		if p.HintsLanding > 32 {
+			p.HintsLanding = 32
+		}
+	}
+	pNoIntHints := lerp(0.52, 0.42, t)
+	if rng.Float64() >= pNoIntHints {
+		p.HintsInternal = 1 + geometric(rng, 0.45)
+		if p.HintsInternal > p.HintsLanding && p.HintsLanding > 0 {
+			p.HintsInternal = p.HintsLanding
+		}
+	}
+
+	// --- Depths (Fig 6a) ---
+	// Internal pages carry proportionally more telemetry fetches, which
+	// always fire from scripts at depth >= 2; the landing mix is set
+	// higher so the *realized* depth-2 asymmetry matches Fig 6a.
+	dj := func(v float64) float64 { return v * math.Exp(rng.NormFloat64()*0.3) }
+	p.DepthLanding = DepthMix{D2: dj(0.30), D3: dj(0.09), D4: dj(0.022), D5: dj(0.009)}
+	p.DepthInternal = DepthMix{D2: dj(0.165), D3: dj(0.05), D4: dj(0.011), D5: dj(0.004)}
+
+	// --- Third parties (Fig 8b) ---
+	p.TPPoolSize = int(logNormal(rng, 50, 1.0))
+	if p.TPPoolSize < 8 {
+		p.TPPoolSize = 8
+	}
+	if p.TPPoolSize > 380 {
+		p.TPPoolSize = 380
+	}
+
+	// --- Trackers (Fig 8c) ---
+	p.TrackersLanding = logNormal(rng, 15, 0.95)
+	if p.TrackersLanding > 90 {
+		p.TrackersLanding = 90
+	}
+	if rng.Float64() < 0.10 {
+		p.TrackersInternal = 0 // ~10% of sites track only on the landing page
+	} else {
+		p.TrackersInternal = p.TrackersLanding * math.Exp(math.Log(0.72)+rng.NormFloat64()*0.3)
+	}
+
+	// --- Security (Fig 8a) ---
+	p.HTTPLanding = rng.Float64() < 0.036
+	if !p.HTTPLanding && rng.Float64() < 0.185 {
+		// Sites with a lingering plain-HTTP section: mostly small, with a
+		// cluster of badly migrated sites (36/170 had ≥10 insecure pages).
+		if rng.Float64() < 0.22 {
+			p.HTTPInternalProb = 0.5 + rng.Float64()*0.45
+		} else {
+			p.HTTPInternalProb = 0.03 + rng.Float64()*0.17
+		}
+	}
+	p.MixedLanding = !p.HTTPLanding && rng.Float64() < 0.037
+	if rng.Float64() < 0.235 {
+		p.MixedInternalProb = 0.05 + rng.Float64()*0.45
+	}
+
+	// --- Header bidding (§6.3) ---
+	p.HBLanding = rng.Float64() < 0.08
+	if !p.HBLanding {
+		p.HBInternalOnly = rng.Float64() < 0.066
+	}
+	if p.HBLanding || p.HBInternalOnly {
+		p.AdSlotsLanding = 3 + geometric(rng, 0.30) // 80th pct ≈ 9
+		p.AdSlotsIntern = 2 + geometric(rng, 0.30)  // 80th pct ≈ 7
+	}
+
+	// --- List building (§3) ---
+	few := 0.02
+	if cat == CatWorld {
+		few = 0.45
+	}
+	p.FewEnglish = rng.Float64() < few
+	if rng.Float64() < 0.5 {
+		p.DisallowFrac = 0.02 + rng.Float64()*0.12
+	}
+	if rng.Float64() < 0.03 {
+		p.InsecureRedirectProb = 0.02 + rng.Float64()*0.08
+	}
+
+	// --- Popularity & TLS ---
+	p.LandingPopBoost = 1.7 * math.Exp(rng.NormFloat64()*0.15)
+	p.TLS13 = rng.Float64() < 0.4
+
+	// --- Landing-page optimization (strongest at the top of the list,
+	// where the Fig 2c landing-faster fraction peaks at 77%) ---
+	p.BlockingCSSLanding = clamp01(lerp(0.28, 0.50, t) * math.Exp(rng.NormFloat64()*0.3))
+	p.AsyncJSLanding = clamp01(lerp(0.74, 0.50, t) * math.Exp(rng.NormFloat64()*0.2))
+	// Internal templates at the bottom of the list lag further behind on
+	// script-loading best practice.
+	p.AsyncJSInternal = clamp01(lerp(0.38, 0.15, t) * math.Exp(rng.NormFloat64()*0.25))
+	switch cat {
+	case CatWorld:
+		// The hand-optimization asymmetry the paper hypothesises for US
+		// landing pages does not show from a US vantage for World sites.
+		p.BlockingCSSLanding = clamp01(0.85 * math.Exp(rng.NormFloat64()*0.15))
+		p.AsyncJSLanding = p.AsyncJSInternal
+	case CatShopping:
+		p.BlockingCSSLanding *= 0.45
+		p.AsyncJSLanding = clamp01(p.AsyncJSLanding * 1.15)
+	}
+	return p
+}
+
+// geometric draws a geometric variate with success probability p
+// (support 0,1,2,... with mean (1-p)/p).
+func geometric(rng *rand.Rand, p float64) int {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return int(math.Log(1-rng.Float64()) / math.Log(1-p))
+}

@@ -1,0 +1,155 @@
+package webgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// sampleProfiles draws n profiles spread over the H1K rank range.
+func sampleProfiles(n int) []Profile {
+	rng := rand.New(rand.NewSource(123))
+	out := make([]Profile, 0, n)
+	for i := 0; i < n; i++ {
+		rank := 1 + i*999/(n-1)
+		out = append(out, sampleProfile(rng, rank, CatNews))
+	}
+	return out
+}
+
+// TestProfileCalibrationAnchors checks that the sampled site-level
+// parameters land near the paper's aggregate targets in expectation.
+// Bands are generous: the realized study statistics (the real
+// calibration check) live in internal/experiments tests.
+func TestProfileCalibrationAnchors(t *testing.T) {
+	profiles := sampleProfiles(4000)
+
+	var objRatios, sizeRatios, domRatios []float64
+	objAbove, sizeAbove := 0, 0
+	hintsL, noHintsI := 0, 0
+	httpLanding := 0
+	for i := range profiles {
+		p := &profiles[i]
+		objRatios = append(objRatios, p.ObjRatio)
+		sizeRatios = append(sizeRatios, p.SizeRatio)
+		domRatios = append(domRatios, p.DomainsRatio)
+		if p.ObjRatio > 1 {
+			objAbove++
+		}
+		if p.SizeRatio > 1 {
+			sizeAbove++
+		}
+		if p.HintsLanding > 0 {
+			hintsL++
+		}
+		if p.HintsInternal == 0 {
+			noHintsI++
+		}
+		if p.HTTPLanding {
+			httpLanding++
+		}
+	}
+	n := float64(len(profiles))
+
+	if f := float64(sizeAbove) / n; f < 0.58 || f > 0.72 {
+		t.Errorf("P(size ratio > 1) = %.3f, want ~0.65 (Fig 2a)", f)
+	}
+	if f := float64(objAbove) / n; f < 0.60 || f > 0.76 {
+		t.Errorf("P(obj ratio > 1) = %.3f, want ~0.68 (Fig 2b)", f)
+	}
+	if g := stats.GeometricMean(sizeRatios); g < 1.2 || g > 1.55 {
+		t.Errorf("geomean size ratio = %.3f, want ~1.34", g)
+	}
+	if g := stats.GeometricMean(objRatios); g < 1.1 || g > 1.4 {
+		t.Errorf("geomean obj ratio = %.3f, want ~1.24", g)
+	}
+	if g := stats.GeometricMean(domRatios); g < 1.2 || g > 1.8 {
+		t.Errorf("geomean domain target ratio = %.3f (pre-dilution, sits above the measured 1.29)", g)
+	}
+	if f := float64(hintsL) / n; f < 0.6 || f > 0.85 {
+		t.Errorf("P(landing has hints) = %.3f, want ~0.72 pre-measurement (Fig 6b)", f)
+	}
+	if f := float64(noHintsI) / n; f < 0.35 || f > 0.60 {
+		t.Errorf("P(internal no hints) = %.3f, want ~0.47 (Fig 6b)", f)
+	}
+	if f := float64(httpLanding) / n; f < 0.02 || f > 0.06 {
+		t.Errorf("P(HTTP landing) = %.3f, want ~0.036 (Fig 8a)", f)
+	}
+}
+
+// TestProfileRankGradients checks the rank-dependent knobs move the right
+// way (the Figs 9/10 trends).
+func TestProfileRankGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	const n = 1500
+	meanAt := func(rank int, f func(*Profile) float64) float64 {
+		var xs []float64
+		for i := 0; i < n; i++ {
+			p := sampleProfile(rng, rank, CatNews)
+			xs = append(xs, f(&p))
+		}
+		return stats.Mean(xs)
+	}
+	ncTop := meanAt(150, func(p *Profile) float64 { return math.Log(p.NCCountRatio) })
+	ncBottom := meanAt(950, func(p *Profile) float64 { return math.Log(p.NCCountRatio) })
+	if ncTop <= ncBottom {
+		t.Errorf("NC ratio must decline with rank: top %.2f vs bottom %.2f (Fig 10a)", ncTop, ncBottom)
+	}
+	if ncBottom >= 0 {
+		t.Errorf("NC log-ratio at the bottom = %.2f, want negative (the Fig 10a reversal)", ncBottom)
+	}
+	domTop := meanAt(150, func(p *Profile) float64 { return math.Log(p.DomainsRatio) })
+	domBottom := meanAt(950, func(p *Profile) float64 { return math.Log(p.DomainsRatio) })
+	if domTop <= domBottom {
+		t.Errorf("domain ratio must decline with rank (Fig 10b)")
+	}
+	blockTop := meanAt(50, func(p *Profile) float64 { return p.BlockingCSSLanding })
+	blockBottom := meanAt(950, func(p *Profile) float64 { return p.BlockingCSSLanding })
+	if blockTop >= blockBottom {
+		t.Error("landing CSS inlining must be strongest at the top (Fig 2c gradient)")
+	}
+}
+
+// TestWorldProfileOverrides checks the Fig 10c mechanism.
+func TestWorldProfileOverrides(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	worldDoc, usDoc := 0, 0
+	var worldObj, usObj []float64
+	for i := 0; i < 800; i++ {
+		w := sampleProfile(rng, 500, CatWorld)
+		u := sampleProfile(rng, 500, CatShopping)
+		if w.DocViaCDN {
+			worldDoc++
+		}
+		if u.DocViaCDN {
+			usDoc++
+		}
+		worldObj = append(worldObj, math.Log(w.ObjRatio))
+		usObj = append(usObj, math.Log(u.ObjRatio))
+	}
+	if worldDoc != 0 {
+		t.Errorf("World sites must not front HTML through US-visible CDNs (%d did)", worldDoc)
+	}
+	if usDoc == 0 {
+		t.Error("Shopping sites should often front HTML through CDNs")
+	}
+	if stats.Mean(worldObj) <= stats.Mean(usObj) {
+		t.Error("World landing pages should be relatively heavier (portal effect)")
+	}
+}
+
+func TestContentMixNormalized(t *testing.T) {
+	for _, p := range sampleProfiles(500) {
+		for _, m := range []ContentMix{p.MixLanding, p.MixInternal} {
+			sum := m.JS + m.Image + m.HTMLCSS + m.Other
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("mix not normalized: %v (sum %f)", m, sum)
+			}
+		}
+		if p.MixInternal.JS <= 0 || p.MixLanding.Image <= 0 {
+			t.Fatal("degenerate mix")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package webgen
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// subSeed derives a stable sub-seed from a base seed and string/int parts,
+// so every site, page, and week gets an independent deterministic RNG.
+func subSeed(base int64, parts ...interface{}) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(base))
+	for _, p := range parts {
+		switch v := p.(type) {
+		case string:
+			h.Write([]byte(v))
+			h.Write([]byte{0})
+		case int:
+			put(uint64(v))
+		case int64:
+			put(uint64(v))
+		case uint64:
+			put(v)
+		default:
+			panic("webgen: unsupported seed part type")
+		}
+	}
+	return int64(h.Sum64())
+}
+
+// rngFor returns a fresh deterministic RNG for the given key parts.
+func rngFor(base int64, parts ...interface{}) *rand.Rand {
+	return rand.New(rand.NewSource(subSeed(base, parts...)))
+}
+
+// logNormal draws a lognormal sample with the given median and sigma of
+// the underlying normal.
+func logNormal(rng *rand.Rand, median, sigma float64) float64 {
+	return median * math.Exp(rng.NormFloat64()*sigma)
+}
+
+// clamp01 limits x to [0,1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// lerp linearly interpolates a→b by t in [0,1].
+func lerp(a, b, t float64) float64 { return a + (b-a)*clamp01(t) }
+
+// invPhi is the inverse standard normal CDF (Acklam's approximation),
+// used to convert "fraction of sites where landing exceeds internal"
+// targets into lognormal-ratio means.
+func invPhi(p float64) float64 {
+	if p <= 0 {
+		return -8
+	}
+	if p >= 1 {
+		return 8
+	}
+	// Coefficients for Acklam's rational approximation.
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	var q, r float64
+	switch {
+	case p < plow:
+		q = math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q = p - 0.5
+		r = q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q = math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// ratioSample draws a lognormal ratio whose P(ratio > 1) equals pAbove
+// and whose log-sd is sigma. The geometric mean is exp(sigma·Φ⁻¹(pAbove)).
+func ratioSample(rng *rand.Rand, pAbove, sigma float64) float64 {
+	mu := sigma * invPhi(pAbove)
+	return math.Exp(mu + rng.NormFloat64()*sigma)
+}
+
+// noise01 returns a deterministic pseudo-random float in [0,1) keyed by
+// the parts, without allocating an RNG. Used for per-week weight jitter.
+func noise01(base int64, parts ...interface{}) float64 {
+	s := uint64(subSeed(base, parts...))
+	// xorshift finalizer
+	s ^= s >> 33
+	s *= 0xff51afd7ed558ccd
+	s ^= s >> 33
+	return float64(s>>11) / float64(1<<53)
+}
+
+// normNoise returns a deterministic standard-normal-ish value keyed by
+// the parts (sum of 4 uniforms, Irwin-Hall approximation).
+func normNoise(base int64, parts ...interface{}) float64 {
+	u := 0.0
+	for i := 0; i < 4; i++ {
+		u += noise01(base+int64(i)*1_000_003, parts...)
+	}
+	// Irwin–Hall(4): mean 2, var 1/3 → standardize.
+	return (u - 2) / math.Sqrt(1.0/3.0)
+}

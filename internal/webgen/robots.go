@@ -1,0 +1,59 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disallowed reports whether the page is excluded by the site's
+// robots.txt (§3: search engines index sites exhaustively *except* pages
+// disallowed via robots.txt; the paper's crawler follows the same
+// convention). The landing page is never disallowed.
+func (p *Page) Disallowed() bool {
+	if p.IsLanding() {
+		return false
+	}
+	frac := p.Site.Profile.DisallowFrac
+	if frac <= 0 {
+		return false
+	}
+	return noise01(p.Site.seed, "robots", p.Index) < frac
+}
+
+// RobotsTxt renders the site's robots.txt: a generic politeness preamble
+// plus one Disallow rule per excluded page path. (Real sites disallow
+// prefixes; enumerating exact paths keeps the synthetic file exact and
+// the matcher trivial without changing any behaviour under test.)
+func (s *Site) RobotsTxt() string {
+	var b strings.Builder
+	b.WriteString("User-agent: *\n")
+	if s.Profile.DisallowFrac <= 0 {
+		b.WriteString("Disallow:\n")
+		return b.String()
+	}
+	n := s.PoolSize()
+	for i := 1; i <= n; i++ {
+		p := s.PageAt(i)
+		if p.Disallowed() {
+			fmt.Fprintf(&b, "Disallow: %s\n", p.Path())
+		}
+	}
+	b.WriteString("Crawl-delay: 5\n")
+	return b.String()
+}
+
+// RedirectsToInsecure reports whether this HTTPS page's URL answers with
+// a redirect to a plain-HTTP page on a different domain (§6.1), and the
+// target URL if so.
+func (p *Page) RedirectsToInsecure() (string, bool) {
+	if p.IsLanding() || p.baseScheme() != "https" {
+		return "", false
+	}
+	prob := p.Site.Profile.InsecureRedirectProb
+	if prob <= 0 || noise01(p.Site.seed, "insecure-redirect", p.Index) >= prob {
+		return "", false
+	}
+	// The careers-site pattern: a different registrable domain, HTTP.
+	target := fmt.Sprintf("http://%s-jobs.net%s", shortLabel(p.Site.Domain), p.Path())
+	return target, true
+}

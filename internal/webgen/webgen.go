@@ -1,0 +1,505 @@
+// Package webgen generates a deterministic synthetic web: ranked sites
+// with one landing page and a pool of internal pages, each page a full
+// object tree (sizes, MIME mixes, dependency depths, third parties,
+// trackers, resource hints, cacheability, CDN placement, security
+// posture).
+//
+// The generator substitutes for the live web the paper measured. Site
+// *structure* is sampled from per-site profiles calibrated to the paper's
+// site-level statistics (see profile.go for every knob and its source
+// figure); page *performance* is never sampled — it emerges downstream
+// from the simulated network, DNS, and CDN mechanics when the page-load
+// engine fetches these pages.
+package webgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dnssim"
+	"repro/internal/simnet"
+)
+
+// SiteSeed names one site to generate.
+type SiteSeed struct {
+	Domain string
+	// Rank is the site's Alexa-style rank; 0 means unranked (treated as
+	// very unpopular).
+	Rank int
+	// PoolSize overrides the number of internal pages the site has at
+	// week 0 (0 = category default). The exhaustive-crawl experiment
+	// (§4, Fig 3b/3c) needs sites with thousands of pages.
+	PoolSize int
+	// Category forces the site's category ("" = drawn from rank).
+	Category Category
+}
+
+// Config parameterizes web generation.
+type Config struct {
+	Seed int64
+	// Week is the snapshot week; page pools grow and visit weights drift
+	// week over week, which drives Hispar's bottom-level churn (§3).
+	Week int
+	// Sites to generate. Typically the top of a toplist.Universe snapshot.
+	Sites []SiteSeed
+	// DefaultPoolSize is the week-0 internal page pool per site
+	// (default 120).
+	DefaultPoolSize int
+	// TrackerDomains and BenignDomains size the global third-party
+	// directory (defaults 80 and 320).
+	TrackerDomains, BenignDomains int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultPoolSize <= 0 {
+		c.DefaultPoolSize = 120
+	}
+	if c.TrackerDomains <= 0 {
+		c.TrackerDomains = 80
+	}
+	if c.BenignDomains <= 0 {
+		c.BenignDomains = 320
+	}
+	return c
+}
+
+// Web is one weekly snapshot of the synthetic web.
+type Web struct {
+	Seed  int64
+	Week  int
+	Sites []*Site
+
+	cfg          Config
+	siteByDomain map[string]*Site
+	thirdParties []ThirdParty
+	tpByKind     map[string][]int // indexes into thirdParties
+	tpIndex      map[string]int   // domain -> directory position (popularity order)
+}
+
+// Generate builds the web snapshot for cfg.
+func Generate(cfg Config) *Web {
+	cfg = cfg.withDefaults()
+	w := &Web{
+		Seed:         cfg.Seed,
+		Week:         cfg.Week,
+		cfg:          cfg,
+		siteByDomain: make(map[string]*Site, len(cfg.Sites)),
+		thirdParties: ThirdPartyDirectory(cfg.Seed, cfg.TrackerDomains, cfg.BenignDomains),
+		tpByKind:     make(map[string][]int),
+	}
+	w.tpIndex = make(map[string]int, len(w.thirdParties))
+	for i, tp := range w.thirdParties {
+		w.tpByKind[tp.Kind] = append(w.tpByKind[tp.Kind], i)
+		w.tpIndex[tp.Domain] = i
+	}
+	for _, seed := range cfg.Sites {
+		s := newSite(w, seed)
+		w.Sites = append(w.Sites, s)
+		w.siteByDomain[s.Domain] = s
+	}
+	return w
+}
+
+// ThirdParties returns the global third-party directory.
+func (w *Web) ThirdParties() []ThirdParty { return w.thirdParties }
+
+// TrackerDomains returns the tracker third-party domains (the ground
+// truth the synthetic Easylist covers).
+func (w *Web) TrackerDomains() []string {
+	var out []string
+	for _, tp := range w.thirdParties {
+		if tp.Tracker {
+			out = append(out, tp.Domain)
+		}
+	}
+	return out
+}
+
+// SiteByDomain returns the site registered for domain.
+func (w *Web) SiteByDomain(domain string) (*Site, bool) {
+	s, ok := w.siteByDomain[domain]
+	return s, ok
+}
+
+// PageByURL maps a normalized page URL back to its Page. Scheme
+// differences are ignored: the page identity is host+path.
+func (w *Web) PageByURL(raw string) (*Page, bool) {
+	host, path := splitURL(raw)
+	www := strings.TrimPrefix(host, "www.")
+	s, ok := w.siteByDomain[www]
+	if !ok {
+		return nil, false
+	}
+	if path == "/" || path == "" {
+		return s.Landing(), true
+	}
+	idx, ok := s.pathIndex()[path]
+	if !ok {
+		return nil, false
+	}
+	return s.PageAt(idx), true
+}
+
+func splitURL(raw string) (host, path string) {
+	s := raw
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		host, path = s[:i], s[i:]
+	} else {
+		host, path = s, "/"
+	}
+	if i := strings.IndexByte(path, '#'); i >= 0 {
+		path = path[:i]
+	}
+	return strings.ToLower(host), path
+}
+
+// Site is one web site: a domain, its rank and category, a calibrated
+// profile, a landing page, and a pool of internal pages.
+type Site struct {
+	Domain   string
+	Rank     int
+	Category Category
+	Origin   simnet.Loc
+	Profile  Profile
+
+	web      *Web
+	seed     int64
+	landing  *Page
+	pathIdx  map[string]int
+	poolSize int
+}
+
+func newSite(w *Web, seed SiteSeed) *Site {
+	s := &Site{
+		Domain: strings.ToLower(seed.Domain),
+		Rank:   seed.Rank,
+		web:    w,
+		seed:   subSeed(w.Seed, "site", strings.ToLower(seed.Domain)),
+	}
+	rng := rand.New(rand.NewSource(s.seed))
+	rank := seed.Rank
+	if rank <= 0 {
+		rank = 100000
+	}
+	s.Category = seed.Category
+	if s.Category == "" {
+		s.Category = categoryFor(rng, rank)
+	}
+	s.Origin = originLoc(rng, s.Category)
+	s.Profile = sampleProfile(rng, rank, s.Category)
+	s.poolSize = seed.PoolSize
+	if s.poolSize <= 0 {
+		// Site sizes are heavy-tailed: some sites have only a couple of
+		// dozen pages (their site: queries return fewer than N URLs and
+		// cost extra per URL — the §7 cost overhead), others thousands.
+		s.poolSize = int(logNormal(rng, float64(w.cfg.DefaultPoolSize), 0.8))
+		if s.poolSize < 12 {
+			s.poolSize = 12
+		}
+	}
+	return s
+}
+
+// Popularity returns the site's global request popularity in (0,1],
+// Zipf-like in rank.
+func (s *Site) Popularity() float64 {
+	rank := s.Rank
+	if rank <= 0 {
+		rank = 100000
+	}
+	return math.Pow(float64(rank), -0.85)
+}
+
+// Host returns the site's canonical web host (www.<domain>).
+func (s *Site) Host() string { return "www." + s.Domain }
+
+// freshPerWeek is how many new internal pages the site publishes weekly.
+func (s *Site) freshPerWeek() int {
+	switch s.Category {
+	case CatNews, CatSports:
+		return 12
+	case CatSocial:
+		return 8
+	case CatEntertainment:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// PoolSize returns the number of internal pages existing at the web's
+// snapshot week.
+func (s *Site) PoolSize() int {
+	return s.poolSize + s.freshPerWeek()*s.web.Week
+}
+
+// Landing returns the site's landing page.
+func (s *Site) Landing() *Page {
+	if s.landing == nil {
+		s.landing = &Page{Site: s, Index: 0}
+	}
+	return s.landing
+}
+
+// PageAt returns the internal page with 1-based index idx (idx 0 is the
+// landing page). Pages are cheap value-ish objects created on demand.
+func (s *Site) PageAt(idx int) *Page {
+	if idx == 0 {
+		return s.Landing()
+	}
+	return &Page{Site: s, Index: idx}
+}
+
+// pathIndex maps internal page paths to indices, built lazily over the
+// current pool.
+func (s *Site) pathIndex() map[string]int {
+	if s.pathIdx != nil {
+		return s.pathIdx
+	}
+	s.pathIdx = make(map[string]int, s.PoolSize())
+	for i := 1; i <= s.PoolSize(); i++ {
+		s.pathIdx[s.PageAt(i).Path()] = i
+	}
+	return s.pathIdx
+}
+
+// InternalPages returns the site's full internal page pool at the
+// snapshot week.
+func (s *Site) InternalPages() []*Page {
+	n := s.PoolSize()
+	out := make([]*Page, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, s.PageAt(i))
+	}
+	return out
+}
+
+// TopInternal returns the site's n most-visited internal pages at the
+// snapshot week, most popular first — what a search engine surfaces for
+// a "site:" query.
+func (s *Site) TopInternal(n int) []*Page {
+	pages := s.InternalPages()
+	sort.Slice(pages, func(a, b int) bool {
+		wa, wb := pages[a].VisitWeight(), pages[b].VisitWeight()
+		if wa != wb {
+			return wa > wb
+		}
+		return pages[a].Index < pages[b].Index
+	})
+	if n < len(pages) {
+		pages = pages[:n]
+	}
+	return pages
+}
+
+// TopIndexable returns the site's n most-visited internal pages that a
+// search engine may index (robots.txt exclusions removed).
+func (s *Site) TopIndexable(n int) []*Page {
+	// Over-fetch, then filter: disallowed pages are a small fraction.
+	candidates := s.TopInternal(n + n/2 + 8)
+	out := make([]*Page, 0, n)
+	for _, p := range candidates {
+		if p.Disallowed() {
+			continue
+		}
+		out = append(out, p)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// Page is one web page of a site. Index 0 is the landing page.
+type Page struct {
+	Site  *Site
+	Index int
+}
+
+// IsLanding reports whether p is the site's landing page.
+func (p *Page) IsLanding() bool { return p.Index == 0 }
+
+// BornWeek returns the week the page was published (0 for the base pool).
+func (p *Page) BornWeek() int {
+	base := p.Site.poolSize
+	if p.Index <= base {
+		return 0
+	}
+	return 1 + (p.Index-base-1)/maxInt(1, p.Site.freshPerWeek())
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Path returns the page's URL path, stable across weeks.
+func (p *Page) Path() string {
+	if p.IsLanding() {
+		return "/"
+	}
+	rng := rngFor(p.Site.seed, "path", p.Index)
+	return pathFor(rng, p.Site.Category, p.Index)
+}
+
+// baseScheme is the scheme the URL itself is served under, before any
+// redirect is considered.
+func (p *Page) baseScheme() string {
+	prof := &p.Site.Profile
+	if p.IsLanding() {
+		if prof.HTTPLanding {
+			return "http"
+		}
+		return "https"
+	}
+	if prof.HTTPLanding {
+		// Sites that have not migrated the landing page serve everything
+		// over HTTP.
+		return "http"
+	}
+	if prof.HTTPInternalProb > 0 &&
+		noise01(p.Site.seed, "scheme", p.Index) < prof.HTTPInternalProb {
+		return "http"
+	}
+	return "https"
+}
+
+// Scheme returns the scheme of the page a user finally lands on: "http"
+// for plain-HTTP URLs and for HTTPS URLs that redirect to plain-HTTP
+// content elsewhere (§6.1 security posture).
+func (p *Page) Scheme() string {
+	if _, ok := p.RedirectsToInsecure(); ok {
+		return "http"
+	}
+	return p.baseScheme()
+}
+
+// URL returns the page's full normalized URL — the address a search
+// engine or list carries, i.e. before any redirect is followed.
+func (p *Page) URL() string {
+	return p.baseScheme() + "://" + p.Site.Host() + p.Path()
+}
+
+// Title returns a short page title used by search indexing.
+func (p *Page) Title() string {
+	if p.IsLanding() {
+		return p.Site.Domain + " — home"
+	}
+	rng := rngFor(p.Site.seed, "title", p.Index)
+	w := slugWords[rng.Intn(len(slugWords))]
+	return fmt.Sprintf("%s %s — %s",
+		strings.ToUpper(w[:1])+w[1:],
+		slugWords[rng.Intn(len(slugWords))],
+		p.Site.Domain)
+}
+
+// VisitWeight returns the page's user-visit popularity at the web's
+// snapshot week. Weights drift weekly (more for fresh-content
+// categories), and recent pages on news-like sites get a recency boost —
+// together these produce Hispar's ~30% weekly internal-URL churn (§3).
+func (p *Page) VisitWeight() float64 {
+	if p.IsLanding() {
+		return 1e9 // the landing page is always the most visited
+	}
+	s := p.Site
+	week := s.web.Week
+	// Base Zipf over the page pool, keyed to a stable per-page draw so
+	// the "intrinsically popular" pages persist.
+	base := math.Pow(1+noise01(s.seed, "basepop", p.Index)*float64(s.PoolSize()), -0.9)
+	sigma := 0.5
+	switch s.Category {
+	case CatNews, CatSports:
+		sigma = 1.3
+	case CatSocial:
+		sigma = 1.1
+	case CatEntertainment:
+		sigma = 0.8
+	}
+	drift := math.Exp(normNoise(s.seed, "drift", p.Index, week) * sigma)
+	recency := 1.0
+	if f := s.freshPerWeek(); f > 3 {
+		age := float64(week - p.BornWeek())
+		if age < 0 {
+			age = 0
+		}
+		recency = math.Exp(-0.5*age) + 0.05
+	}
+	return base * drift * recency
+}
+
+// Popularity returns the page's global request popularity used for cache
+// warmth: site popularity shaped by within-site visit share, boosted for
+// the landing page (landing pages are requested far more often — the
+// root of the paper's CDN-hit asymmetry, §5.1).
+func (p *Page) Popularity() float64 {
+	s := p.Site
+	pop := math.Pow(s.Popularity(), 0.3)
+	if p.IsLanding() {
+		return pop * s.Profile.LandingPopBoost
+	}
+	// Within-site share, compressed: internal pages vary less in global
+	// popularity than raw visit weights suggest.
+	w := p.VisitWeight()
+	share := math.Pow(clamp01(w), 0.25)
+	if share < 0.68 {
+		share = 0.68
+	}
+	return pop * share
+}
+
+// Authority returns a DNS authority over the synthetic web: site hosts
+// (with CNAME chains to CDN edges for CDN-fronted subdomains),
+// third-party hosts, and raw CDN hosts. TTLs are short for
+// request-routed (CDN) names and long otherwise, which drives the low
+// resolver hit rates of §5.3.
+func (w *Web) Authority() dnssim.Authority {
+	return dnssim.AuthorityFunc(func(host string) (dnssim.Record, bool) {
+		host = strings.ToLower(host)
+		ttl := time.Hour
+		var chain []string
+		switch {
+		case strings.Contains(host, "-edge.net"), isCDNHost(host):
+			ttl = 30 * time.Second
+		case strings.HasPrefix(host, "static."):
+			// The static.<domain> subdomain is CNAMEd to the site's CDN
+			// when it has a contract; everything served from it rides the
+			// CDN (host-consistent delivery).
+			if s, ok := w.siteByDomain[trimFirstLabel(host)]; ok && s.Profile.CDNProvider != "" {
+				edge := "static." + s.Domain + "." + s.Profile.CDNProvider + "-edge.net"
+				chain = []string{edge}
+				ttl = 60 * time.Second
+			}
+		}
+		return dnssim.Record{
+			Host:  host,
+			Chain: chain,
+			Addr:  dnssim.SyntheticAddr(host),
+			TTL:   ttl,
+		}, true
+	})
+}
+
+func trimFirstLabel(host string) string {
+	if i := strings.IndexByte(host, '.'); i >= 0 {
+		return host[i+1:]
+	}
+	return host
+}
+
+func isCDNHost(host string) bool {
+	for _, p := range cdnProviderNames {
+		if strings.HasSuffix(host, "."+p+".net") {
+			return true
+		}
+	}
+	return false
+}

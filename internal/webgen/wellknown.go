@@ -1,0 +1,64 @@
+package webgen
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// PublisherSample returns the site's self-curated representative internal
+// pages — the §7 "Involve publishers" proposal: each publisher exposes a
+// benchmark set spanning its content (implemented as a weight-stratified
+// sample of the page pool), to be published at a Well-Known URI.
+func (s *Site) PublisherSample(n int) []*Page {
+	pool := s.InternalPages()
+	if n <= 0 || len(pool) == 0 {
+		return nil
+	}
+	sort.Slice(pool, func(a, b int) bool {
+		wa, wb := pool[a].VisitWeight(), pool[b].VisitWeight()
+		if wa != wb {
+			return wa > wb
+		}
+		return pool[a].Index < pool[b].Index
+	})
+	if n > len(pool) {
+		n = len(pool)
+	}
+	// Quantile-spaced picks over the popularity ordering: the benchmark
+	// covers head, torso, and tail content rather than only hits.
+	out := make([]*Page, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(pool) - 1) / maxInt(1, n-1)
+		out = append(out, pool[idx])
+	}
+	return dedupePages(out)
+}
+
+func dedupePages(pages []*Page) []*Page {
+	seen := make(map[int]bool, len(pages))
+	out := pages[:0]
+	for _, p := range pages {
+		if !seen[p.Index] {
+			seen[p.Index] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// WellKnownManifest renders the site's /.well-known/hispar.json payload.
+func (s *Site) WellKnownManifest(n int) ([]byte, error) {
+	type manifest struct {
+		Site    string   `json:"site"`
+		Purpose string   `json:"purpose"`
+		Pages   []string `json:"pages"`
+	}
+	m := manifest{
+		Site:    s.Domain,
+		Purpose: "representative internal pages for web performance measurement",
+	}
+	for _, p := range s.PublisherSample(n) {
+		m.Pages = append(m.Pages, p.URL())
+	}
+	return json.MarshalIndent(m, "", "  ")
+}

@@ -1,0 +1,191 @@
+// Package webserve serves a generated web over real HTTP using net/http,
+// with name-based virtual hosting: every synthetic host (site hosts,
+// static subdomains, third-party and CDN hosts) is multiplexed onto one
+// listener and selected by the Host header. It exists so that integration
+// tests and examples exercise genuine HTTP parsing, header semantics, and
+// the htmlx scanner against served markup — the page-load *timing* engine
+// (internal/browser) stays in virtual time.
+package webserve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/webgen"
+)
+
+// Server serves one web snapshot.
+type Server struct {
+	web *webgen.Web
+	// MaxBodyFill caps generated filler per object body (default 64 KiB).
+	MaxBodyFill int
+
+	mu     sync.Mutex
+	models map[string]*webgen.PageModel // page URL (host+path) -> model
+	httpd  *http.Server
+	ln     net.Listener
+}
+
+// New creates a server over web.
+func New(web *webgen.Web) *Server {
+	return &Server{web: web, MaxBodyFill: 64 << 10, models: make(map[string]*webgen.PageModel)}
+}
+
+// Start begins listening on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("webserve: listen: %w", err)
+	}
+	s.ln = ln
+	s.httpd = &http.Server{Handler: s}
+	go func() { _ = s.httpd.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.httpd != nil {
+		return s.httpd.Close()
+	}
+	return nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// model returns (building if needed) the page model that owns the given
+// URL — either as its root document or as one of its objects. Object
+// URLs embed no page pointer, so the server keeps an index of every
+// object URL it has served a document for; fetching a page's document
+// registers its objects.
+func (s *Server) pageModel(host, path string) (*webgen.PageModel, bool) {
+	page, ok := s.web.PageByURL("http://" + host + path)
+	if !ok {
+		return nil, false
+	}
+	key := strings.TrimPrefix(host, "www.") + "|" + path
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.models[key]; ok {
+		return m, true
+	}
+	m := page.Build()
+	s.models[key] = m
+	return m, true
+}
+
+// findObject looks up an object URL in any already-served page model.
+func (s *Server) findObject(host, uri string) (*webgen.PageModel, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.models {
+		for i, o := range m.Objects {
+			if i == 0 {
+				continue
+			}
+			if o.Host == host && strings.HasSuffix(o.URL, uri) {
+				return m, i, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// ServeHTTP implements http.Handler with virtual hosting.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	uri := r.URL.RequestURI()
+
+	if r.URL.Path == "/robots.txt" {
+		if site, ok := s.web.SiteByDomain(strings.TrimPrefix(host, "www.")); ok {
+			w.Header().Set("Content-Type", "text/plain")
+			_, _ = w.Write([]byte(site.RobotsTxt()))
+			return
+		}
+		http.NotFound(w, r)
+		return
+	}
+
+	// Publisher-provided representative pages (§7), served at a
+	// Well-Known URI.
+	if r.URL.Path == "/.well-known/hispar.json" {
+		if site, ok := s.web.SiteByDomain(strings.TrimPrefix(host, "www.")); ok {
+			body, err := site.WellKnownManifest(10)
+			if err == nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Cache-Control", "max-age=86400")
+				_, _ = w.Write(body)
+				return
+			}
+		}
+		http.NotFound(w, r)
+		return
+	}
+
+	// Root documents first.
+	if m, ok := s.pageModel(host, r.URL.Path); ok {
+		body := m.RenderHTML()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Server", "webgen-origin")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		_, _ = w.Write([]byte(body))
+		return
+	}
+
+	// Sub-resources of previously served documents.
+	if m, idx, ok := s.findObject(host, uri); ok {
+		o := m.Objects[idx]
+		body := m.RenderBody(idx, s.MaxBodyFill)
+		w.Header().Set("Content-Type", o.MIME)
+		if o.Cacheable {
+			w.Header().Set("Cache-Control", "public, max-age=86400")
+		} else {
+			w.Header().Set("Cache-Control", "no-store")
+		}
+		if o.ViaCDN != "" {
+			w.Header().Set("Server", o.ViaCDN)
+			w.Header().Set("X-Cache", "MISS")
+		} else {
+			w.Header().Set("Server", "webgen-origin")
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		_, _ = w.Write([]byte(body))
+		return
+	}
+
+	http.NotFound(w, r)
+}
+
+// Client returns an http.Client that routes every request to the server
+// regardless of the URL's host, preserving the Host header — the
+// loopback analogue of wide-area virtual hosting.
+func (s *Server) Client() *http.Client {
+	addr := s.Addr()
+	transport := &http.Transport{
+		Proxy: nil,
+		DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		},
+	}
+	return &http.Client{Transport: transport}
+}

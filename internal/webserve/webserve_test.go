@@ -1,0 +1,159 @@
+package webserve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/htmlx"
+	"repro/internal/toplist"
+	"repro/internal/urlx"
+	"repro/internal/webgen"
+)
+
+func startServer(t *testing.T) (*Server, *webgen.Web, *http.Client) {
+	t.Helper()
+	u := toplist.NewUniverse(toplist.Config{Seed: 61, Size: 300})
+	entries := u.Top(5)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: 61, Sites: seeds})
+	srv := New(web)
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, web, srv.Client()
+}
+
+// get fetches a URL through the loopback virtual-hosting client, with
+// the scheme forced to http (the test server speaks plain HTTP).
+func get(t *testing.T, client *http.Client, rawURL string) (*http.Response, string) {
+	t.Helper()
+	resp, err := client.Get(urlx.WithScheme(rawURL, "http"))
+	if err != nil {
+		t.Fatalf("GET %s: %v", rawURL, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read %s: %v", rawURL, err)
+	}
+	return resp, string(body)
+}
+
+func TestServeLandingPageOverRealHTTP(t *testing.T) {
+	_, web, client := startServer(t)
+	site := web.Sites[0]
+	resp, body := get(t, client, site.Landing().URL())
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	doc := htmlx.Parse(body)
+	if doc.Title == "" {
+		t.Error("served page has no title")
+	}
+	m := site.Landing().Build()
+	if len(doc.Links) != len(m.Links) {
+		t.Errorf("links served %d, model %d", len(doc.Links), len(m.Links))
+	}
+}
+
+func TestFetchSubresourcesEndToEnd(t *testing.T) {
+	_, web, client := startServer(t)
+	site := web.Sites[1]
+	// Fetch the document first (registers the page's objects), then walk
+	// discovered sub-resources like a crawler-browser would.
+	_, body := get(t, client, site.Landing().URL())
+	doc := htmlx.Parse(body)
+	if len(doc.Resources) == 0 {
+		t.Fatal("no sub-resources discovered")
+	}
+	fetched := 0
+	for _, r := range doc.Resources {
+		if fetched >= 10 {
+			break
+		}
+		resp, _ := get(t, client, r.URL)
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d", r.URL, resp.StatusCode)
+			continue
+		}
+		if resp.Header.Get("Cache-Control") == "" {
+			t.Errorf("%s: no Cache-Control", r.URL)
+		}
+		fetched++
+	}
+	if fetched == 0 {
+		t.Fatal("no sub-resources fetched")
+	}
+}
+
+func TestCSSBodiesCarryChildRefs(t *testing.T) {
+	_, web, client := startServer(t)
+	site := web.Sites[0]
+	m := site.PageAt(1).Build()
+	_, _ = get(t, client, m.URL) // register page
+	for i, o := range m.Objects {
+		if o.Role != webgen.RoleCSS || len(m.ChildRefs(i)) == 0 {
+			continue
+		}
+		resp, body := get(t, client, o.URL)
+		if resp.StatusCode != 200 {
+			t.Fatalf("css fetch status %d", resp.StatusCode)
+		}
+		for _, ref := range m.ChildRefs(i) {
+			if !strings.Contains(body, ref) {
+				t.Errorf("served CSS missing child ref %s", ref)
+			}
+		}
+		return
+	}
+	t.Skip("no CSS with children on this page")
+}
+
+func TestUnknownURLs404(t *testing.T) {
+	_, web, client := startServer(t)
+	resp, _ := get(t, client, "http://"+web.Sites[0].Host()+"/definitely-not-a-page")
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = get(t, client, "http://unknown-host.example/")
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown host status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestRobotsAndWellKnownEndpoints(t *testing.T) {
+	_, web, client := startServer(t)
+	site := web.Sites[0]
+	resp, body := get(t, client, "http://"+site.Host()+"/robots.txt")
+	if resp.StatusCode != 200 || !strings.Contains(body, "User-agent:") {
+		t.Errorf("robots.txt: status %d body %.60q", resp.StatusCode, body)
+	}
+	resp, body = get(t, client, "http://"+site.Host()+"/.well-known/hispar.json")
+	if resp.StatusCode != 200 {
+		t.Fatalf("well-known status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, `"pages"`) || !strings.Contains(body, site.Domain) {
+		t.Errorf("well-known manifest = %.80q", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("well-known Content-Type = %q", ct)
+	}
+}
+
+func TestVirtualHostingSeparatesSites(t *testing.T) {
+	_, web, client := startServer(t)
+	_, bodyA := get(t, client, web.Sites[0].Landing().URL())
+	_, bodyB := get(t, client, web.Sites[1].Landing().URL())
+	if bodyA == bodyB {
+		t.Error("different hosts served identical documents")
+	}
+}

@@ -1,0 +1,136 @@
+package whatif
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hispar"
+	"repro/internal/search"
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+func fixture(t *testing.T) (*Evaluator, *hispar.List) {
+	t.Helper()
+	u := toplist.NewUniverse(toplist.Config{Seed: 71, Size: 500})
+	entries := u.Top(30)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: 71, Sites: seeds})
+	eng := search.New(web, search.Config{EnglishOnly: true})
+	list, _, err := hispar.Build(eng, entries, hispar.BuildConfig{
+		Sites: 16, URLsPerSite: 5, MinResults: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(web, Config{Seed: 71, Fetches: 2}), list
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	if len(Scenarios()) < 6 {
+		t.Fatalf("scenarios = %d", len(Scenarios()))
+	}
+	for _, s := range Scenarios() {
+		if s.Name == "" || s.Description == "" {
+			t.Errorf("incomplete scenario %+v", s)
+		}
+		got, ok := ScenarioByName(s.Name)
+		if !ok || got.Name != s.Name {
+			t.Errorf("lookup failed for %s", s.Name)
+		}
+	}
+	if _, ok := ScenarioByName("nope"); ok {
+		t.Error("bogus scenario resolved")
+	}
+}
+
+func TestQUICSpeedsUpEveryPage(t *testing.T) {
+	ev, list := fixture(t)
+	sc, _ := ScenarioByName("quic")
+	res, err := ev.Evaluate(list, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pages) == 0 {
+		t.Fatal("no pages evaluated")
+	}
+	faster := 0
+	for _, p := range res.Pages {
+		if p.Baseline <= 0 || p.Scenario <= 0 {
+			t.Fatalf("bad timings %+v", p)
+		}
+		if p.Scenario <= p.Baseline {
+			faster++
+		}
+	}
+	if faster < len(res.Pages)*3/4 {
+		t.Errorf("QUIC sped up only %d/%d pages", faster, len(res.Pages))
+	}
+	if res.MedianImprovement(true) <= 0 || res.MedianImprovement(false) <= 0 {
+		t.Error("QUIC should improve both page types")
+	}
+}
+
+func TestPerfectCDNFavorsLanding(t *testing.T) {
+	ev, list := fixture(t)
+	sc, _ := ScenarioByName("perfect-cdn")
+	res, err := ev.Evaluate(list, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianImprovement(false) < -0.02 {
+		t.Errorf("perfect CDN should not slow internal pages: %.3f", res.MedianImprovement(false))
+	}
+	// The Vesuna-style asymmetry: landing pages, already warm, gain more
+	// headroom... actually landing pages gain more because more of their
+	// bytes ride the CDN. The asymmetry must not be strongly negative.
+	if res.Asymmetry() < -0.05 {
+		t.Errorf("perfect-CDN asymmetry strongly favours internal pages: %+.3f", res.Asymmetry())
+	}
+}
+
+func TestNoCDNHurtsLandingMore(t *testing.T) {
+	ev, list := fixture(t)
+	sc, _ := ScenarioByName("no-cdn")
+	res, err := ev.Evaluate(list, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Landing pages lean on warm edges; losing them must hurt landing
+	// pages at least as much as internal pages (§5.1).
+	if res.Asymmetry() > 0.02 {
+		t.Errorf("no-cdn asymmetry %+.3f; landing should lose more", res.Asymmetry())
+	}
+}
+
+func TestServerPushImprovesOnLoad(t *testing.T) {
+	ev, list := fixture(t)
+	sc, _ := ScenarioByName("push")
+	res, err := ev.Evaluate(list, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianLoadImprovement(true) <= 0 {
+		t.Errorf("push should cut landing onLoad: %.3f", res.MedianLoadImprovement(true))
+	}
+	if res.MedianLoadImprovement(false) <= 0 {
+		t.Errorf("push should cut internal onLoad: %.3f", res.MedianLoadImprovement(false))
+	}
+}
+
+func TestPageDeltaMath(t *testing.T) {
+	p := PageDelta{Baseline: 2 * time.Second, Scenario: time.Second,
+		BaselineLoad: 4 * time.Second, ScenarioLoad: 3 * time.Second}
+	if p.Improvement() != 0.5 {
+		t.Errorf("Improvement = %v", p.Improvement())
+	}
+	if p.LoadImprovement() != 0.25 {
+		t.Errorf("LoadImprovement = %v", p.LoadImprovement())
+	}
+	if (PageDelta{}).Improvement() != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
