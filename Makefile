@@ -1,0 +1,28 @@
+# Build and verification entry points. Tier-1 is the fast gate every
+# change must pass; tier-2 adds vet and the race detector (short mode, so
+# the heavyweight experiment corpus and benchmarks stay out of the loop).
+
+GO ?= go
+
+.PHONY: build test test-race bench clean
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the full functional suite.
+test: build
+	$(GO) test ./...
+
+# Tier-2: static checks plus the race detector. Short mode skips the
+# slow experiment-context tests and benchmark warmups but keeps every
+# unit and determinism test — including the Workers=1 vs Workers=8
+# study-invariance test in internal/core.
+test-race:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

@@ -49,6 +49,11 @@ func sharedCtx(b *testing.B) *experiments.Context {
 }
 
 func benchExperiment(b *testing.B, id string) {
+	if testing.Short() {
+		// The shared corpus takes minutes to warm under -race; keep
+		// `go test -race -short -bench=.` usable as a quick gate.
+		b.Skip("skipping experiment benchmark in short mode")
+	}
 	ctx := sharedCtx(b)
 	exp, ok := experiments.ByID(id)
 	if !ok {

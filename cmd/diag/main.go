@@ -1,16 +1,21 @@
 // Command diag is a development diagnostic: it breaks one site's landing
 // and internal page loads into timing components to support calibration.
+// The -fault-* flags inject network/resolver faults so the failure model
+// can be inspected too; a runstats report closes the run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/browser"
 	"repro/internal/cdn"
 	"repro/internal/dnssim"
-	"repro/internal/har"
+	"repro/internal/runstats"
+	"repro/internal/simnet"
 	"repro/internal/toplist"
 	"repro/internal/webgen"
 )
@@ -20,6 +25,11 @@ func main() {
 		seed  = flag.Int64("seed", 42, "seed")
 		nSite = flag.Int("n", 10, "sites to diagnose")
 		rate  = flag.Float64("rate", 2.2, "cdn warmth rate")
+
+		faultTimeout  = flag.Float64("fault-timeout", 0, "per-request timeout probability")
+		faultTruncate = flag.Float64("fault-truncate", 0, "per-request truncation probability")
+		faultLoss     = flag.Float64("fault-loss", 0, "per-request retransmit probability")
+		dnsFail       = flag.Float64("fault-dns", 0, "transient resolver failure probability")
 	)
 	flag.Parse()
 
@@ -30,11 +40,16 @@ func main() {
 		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
 	}
 	web := webgen.Generate(webgen.Config{Seed: *seed, Sites: seeds})
-	resolver := dnssim.NewResolver(dnssim.ResolverConfig{Name: "isp", Seed: *seed, WarmQueryRate: 0.8}, web.Authority(), nil)
+	resolver := dnssim.NewResolver(dnssim.ResolverConfig{
+		Name: "isp", Seed: *seed, WarmQueryRate: 0.8, FailProb: *dnsFail,
+	}, web.Authority(), nil)
 	warm := cdn.PopularityWarmth(*rate, 0.97)
 	b, err := browser.New(browser.Config{
 		Seed:     *seed,
 		Resolver: resolver,
+		Net: simnet.Config{Faults: simnet.FaultConfig{Rates: simnet.FaultRates{
+			Timeout: *faultTimeout, Truncate: *faultTruncate, Loss: *faultLoss,
+		}}},
 		CDNFactory: func() *cdn.Network {
 			return cdn.NewNetwork(1<<14, warm, *seed)
 		},
@@ -42,18 +57,38 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	stats := runstats.NewSet()
 
 	describe := func(tag string, m *webgen.PageModel) {
 		log, err := b.Load(m, 0)
 		if err != nil {
-			panic(err)
+			var le *browser.LoadError
+			if !errors.As(err, &le) {
+				panic(err)
+			}
+			// Root-document failure: expected under injected faults.
+			stats.Inc("loads.err."+le.Phase, 1)
+			fmt.Printf("  %-8s FAILED phase=%s after %v (%v)\n",
+				tag, le.Phase, log.Entries[0].Time.Round(time.Millisecond), le.Err)
+			return
 		}
+		stats.Inc("loads.ok", 1)
+		stats.Observe("plt.ms", float64(log.Page.Timings.FirstPaint.Milliseconds()))
 		var rootTime, maxBlock, hsTotal, waitTotal time.Duration
-		blocking, cdnHits, cdnTotal := 0, 0, 0
-		for i, e := range log.Entries {
-			o := m.Objects[i]
+		blocking, cdnHits, cdnTotal, dead := 0, 0, 0, 0
+		for i := range log.Entries {
+			e := &log.Entries[i]
 			if i == 0 {
 				rootTime = e.Time
+			}
+			if e.Failed() {
+				dead++
+				stats.Inc("subresources.err."+e.Aborted, 1)
+				continue
+			}
+			o, ok := m.ObjectByURL(e.Request.URL)
+			if !ok {
+				continue
 			}
 			if o.RenderBlocking {
 				blocking++
@@ -77,12 +112,11 @@ func main() {
 		if cdnTotal > 0 {
 			hitRate = float64(cdnHits) / float64(cdnTotal)
 		}
-		fmt.Printf("  %-8s PLT=%-8v SI=%-8v root=%-8v maxBlockEnd=%-8v nblock=%-3d objs=%-4d bytes=%.1fMB hit=%.2f\n",
+		fmt.Printf("  %-8s PLT=%-8v SI=%-8v root=%-8v maxBlockEnd=%-8v nblock=%-3d objs=%-4d dead=%-3d bytes=%.1fMB hit=%.2f\n",
 			tag, log.Page.Timings.FirstPaint.Round(time.Millisecond),
 			log.Page.Timings.SpeedIndex.Round(time.Millisecond),
 			rootTime.Round(time.Millisecond), maxBlock.Round(time.Millisecond),
-			blocking, len(log.Entries), float64(log.TotalBytes())/1e6, hitRate)
-		_ = har.Timings{}
+			blocking, len(log.Entries), dead, float64(log.TotalBytes())/1e6, hitRate)
 	}
 
 	for _, s := range web.Sites {
@@ -94,4 +128,6 @@ func main() {
 			describe(fmt.Sprintf("int%d", i), s.PageAt(i).Build())
 		}
 	}
+	fmt.Fprintln(os.Stderr)
+	stats.Render(os.Stderr)
 }

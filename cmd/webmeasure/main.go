@@ -7,6 +7,11 @@
 //
 //	webmeasure -sites 100 -persite 20 -fetches 10 > measurements.csv
 //	webmeasure -sites 5 -har hars/   # one HAR JSON per page
+//
+// The -fault-* flags inject network and resolver faults; the runner
+// retries transient failures with exponential backoff in virtual time,
+// drops what stays dead, and reports run metrics with -stats. A partial
+// CSV is still written when the failure budget (-budget) is exceeded.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/hispar"
 	"repro/internal/search"
+	"repro/internal/simnet"
 	"repro/internal/toplist"
 	"repro/internal/webgen"
 )
@@ -33,7 +39,16 @@ func main() {
 		sites   = flag.Int("sites", 100, "sites to measure")
 		perSite = flag.Int("persite", 20, "URLs per site")
 		fetches = flag.Int("fetches", 10, "fetches per landing page")
+		workers = flag.Int("workers", 0, "parallel site workers (0 = GOMAXPROCS)")
 		harDir  = flag.String("har", "", "write HAR JSON files into this directory instead of CSV")
+
+		faultTimeout  = flag.Float64("fault-timeout", 0, "per-request timeout probability")
+		faultTruncate = flag.Float64("fault-truncate", 0, "per-request truncation probability")
+		faultLoss     = flag.Float64("fault-loss", 0, "per-request retransmit probability")
+		dnsFail       = flag.Float64("fault-dns", 0, "transient resolver failure probability")
+		retries       = flag.Int("retries", 0, "max load attempts per page (0 = default 3)")
+		budget        = flag.Float64("budget", 0, "failure budget as a fraction of sites (0 = default 0.25, negative = unlimited)")
+		stats         = flag.Bool("stats", false, "print run metrics to stderr")
 	)
 	flag.Parse()
 
@@ -55,12 +70,31 @@ func main() {
 		return
 	}
 
-	st, err := core.NewStudy(web, core.StudyConfig{Seed: *seed, LandingFetches: *fetches})
+	st, err := core.NewStudy(web, core.StudyConfig{
+		Seed:           *seed,
+		LandingFetches: *fetches,
+		Workers:        *workers,
+		Faults: simnet.FaultConfig{Rates: simnet.FaultRates{
+			Timeout: *faultTimeout, Truncate: *faultTruncate, Loss: *faultLoss,
+		}},
+		DNSFailProb:   *dnsFail,
+		MaxAttempts:   *retries,
+		FailureBudget: *budget,
+	})
 	fatal(err)
-	res, err := st.Run(list)
-	fatal(err)
-	// The public dataset format (see internal/core WriteMeasurementsCSV).
-	fatal(core.WriteMeasurementsCSV(os.Stdout, res))
+	res, runErr := st.Run(list)
+	if res != nil {
+		if *stats || res.FailedSites() > 0 {
+			fmt.Fprintf(os.Stderr, "webmeasure: %d/%d sites measured, %d failed\n",
+				len(res.Sites), len(res.Outcomes), res.FailedSites())
+			res.Stats.Render(os.Stderr)
+		}
+		// The public dataset format (see internal/core WriteMeasurementsCSV).
+		// Written even when the failure budget was breached: partial
+		// results are the point of the fault-tolerant runner.
+		fatal(core.WriteMeasurementsCSV(os.Stdout, res))
+	}
+	fatal(runErr)
 }
 
 // writeHARs fetches each page once and dumps full HAR documents.

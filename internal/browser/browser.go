@@ -11,6 +11,7 @@ package browser
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -141,16 +142,31 @@ func (h *taskHeap) Pop() interface{} {
 // differentiates repeated fetches of the same page (the paper loads each
 // landing page ten times and uses medians); it seeds the per-load jitter.
 func (b *Browser) Load(m *webgen.PageModel, fetchID int) (*har.Log, error) {
+	return b.LoadAttempt(m, fetchID, 0)
+}
+
+// LoadAttempt is Load with an explicit retry attempt number. Attempt 0 is
+// byte-identical to Load; higher attempts reseed the per-load network
+// conditions (jitter and fault draws), so a retry of a transiently failed
+// load can succeed — the study runner's retry loop depends on this.
+//
+// On failure the returned error is a *LoadError wrapping ErrTimeout,
+// ErrDNS, or ErrTruncated, and the returned log is non-nil: it holds the
+// entries recorded up to and including the fatal fetch (the aborted root
+// entry records the phase reached), for forensics. Its page timings are
+// zero and it must not be measured as a successful load.
+func (b *Browser) LoadAttempt(m *webgen.PageModel, fetchID, attempt int) (*har.Log, error) {
 	if len(m.Objects) == 0 {
 		return nil, fmt.Errorf("browser: page model %s has no objects", m.URL)
 	}
 	site := m.Page.Site
 	net := simnet.New(simnet.Config{
-		Seed:          b.cfg.Seed ^ int64(fetchID)*0x9e37 ^ int64(len(m.URL)),
+		Seed:          b.cfg.Seed ^ int64(fetchID)*0x9e37 ^ int64(len(m.URL)) ^ int64(attempt)*0x1000193,
 		ConnBandwidth: b.cfg.Net.ConnBandwidth,
 		MSS:           b.cfg.Net.MSS,
 		InitCwnd:      b.cfg.Net.InitCwnd,
 		JitterFrac:    b.cfg.Net.JitterFrac,
+		Faults:        b.cfg.Net.Faults,
 	})
 	edges := b.cfg.CDNFactory()
 
@@ -175,6 +191,8 @@ func (b *Browser) Load(m *webgen.PageModel, fetchID int) (*har.Log, error) {
 		done:      make([]time.Duration, len(m.Objects)),
 		starts:    make([]time.Duration, len(m.Objects)),
 		fetched:   make([]bool, len(m.Objects)),
+		attempted: make([]bool, len(m.Objects)),
+		failed:    make([]bool, len(m.Objects)),
 		tls13:     site.Profile.TLS13 || b.cfg.Protocol.ForceTLS13,
 		origLoc:   site.Origin,
 		navStart:  navStart,
@@ -193,8 +211,15 @@ func (b *Browser) Load(m *webgen.PageModel, fetchID int) (*har.Log, error) {
 		}
 	}
 
-	// Fetch the root document.
-	rootDone := state.fetch(0, 0)
+	// Fetch the root document. A failed root is fatal: there is no page
+	// without it. The partial log (just the aborted root entry) rides
+	// along with the typed error.
+	rootDone, rootOK := state.fetch(0, 0)
+	if !rootOK {
+		log.Entries = state.compactEntries()
+		phase := state.entries[0].Aborted
+		return log, &LoadError{URL: m.URL, Phase: phase, Attempt: attempt, Err: sentinelForPhase(phase)}
+	}
 	discovery := rootDone + b.cfg.ParseDelay
 
 	var tasks taskHeap
@@ -235,9 +260,14 @@ func (b *Browser) Load(m *webgen.PageModel, fetchID int) (*har.Log, error) {
 
 	// Event loop: fetch in ready order; completions reveal children —
 	// or, with server push, children start as soon as the parent does.
+	// A failed sub-resource is tolerated (real browsers render pages with
+	// dead vendors), but its children are never discovered.
 	for tasks.Len() > 0 {
 		t := heap.Pop(&tasks).(fetchTask)
-		doneAt := state.fetch(t.idx, t.readyAt)
+		doneAt, ok := state.fetch(t.idx, t.readyAt)
+		if !ok {
+			continue
+		}
 		childAt := doneAt + state.procDelay(m.Objects[t.idx].Role)
 		if b.cfg.Protocol.ServerPush {
 			childAt = state.starts[t.idx] + 2*time.Millisecond
@@ -251,14 +281,20 @@ func (b *Browser) Load(m *webgen.PageModel, fetchID int) (*har.Log, error) {
 	}
 
 	// Any orphan (parent never fetched — cannot happen by construction,
-	// but be defensive) is fetched at the end.
-	for i := range m.Objects {
-		if !state.fetched[i] && i != 0 {
-			state.fetch(i, discovery)
+	// but be defensive) is fetched at the end, unless its parent died or
+	// was itself never discovered: descendants of dead fetches, however
+	// deep, stay undiscovered.
+	for i, o := range m.Objects {
+		if state.fetched[i] || i == 0 {
+			continue
 		}
+		if o.Parent >= 0 && (state.failed[o.Parent] || !state.attempted[o.Parent]) {
+			continue
+		}
+		state.fetch(i, discovery)
 	}
 
-	log.Entries = state.entries
+	log.Entries = state.compactEntries()
 	log.Page.Timings = state.pageTimings(rootDone)
 	return log, nil
 }
@@ -278,6 +314,9 @@ type loadState struct {
 	done      []time.Duration
 	starts    []time.Duration
 	fetched   []bool
+	attempted []bool // a fetch ran (successfully or not) and has an entry
+	failed    []bool // the fetch ran and died; children stay undiscovered
+	anyFault  bool
 	tls13     bool
 	origLoc   simnet.Loc
 	navStart  time.Time
@@ -326,26 +365,33 @@ func (s *loadState) procDelay(r webgen.Role) time.Duration {
 
 // resolve performs a page-scoped DNS lookup: the first lookup of a host
 // pays the resolver latency; later lookups are served from the browser's
-// in-page cache.
-func (s *loadState) resolve(host string, pop float64, at time.Duration) (ready time.Duration, cost time.Duration) {
+// in-page cache. An authoritative NXDOMAIN is absorbed as a fixed-cost
+// miss (the legacy tolerance for dead vendor domains), but a transient
+// injected resolver failure is surfaced: the fetch that triggered it must
+// abort, and the failure is not cached so a later lookup can succeed.
+func (s *loadState) resolve(host string, pop float64, at time.Duration) (ready time.Duration, cost time.Duration, err error) {
 	if doneAt, ok := s.dnsDone[host]; ok {
 		if doneAt > at {
 			// Resolution in flight (e.g. dns-prefetch racing a fetch).
-			return doneAt, 0
+			return doneAt, 0, nil
 		}
-		return at, 0
+		return at, 0, nil
 	}
-	res, err := s.b.cfg.Resolver.Resolve(host, pop)
+	res, rerr := s.b.cfg.Resolver.Resolve(host, pop)
 	lat := res.Latency
-	if err != nil {
+	if rerr != nil {
+		if errors.Is(rerr, dnssim.ErrInjected) {
+			return at + lat, lat, rerr
+		}
 		lat = 150 * time.Millisecond
 	}
 	s.dnsDone[host] = at + lat
 	s.dnsCost[host] = lat
-	return at + lat, lat
+	return at + lat, lat, nil
 }
 
-// prefetchDNS implements the dns-prefetch hint.
+// prefetchDNS implements the dns-prefetch hint. Hint failures are
+// silent, as in real browsers.
 func (s *loadState) prefetchDNS(origin string, at time.Duration) {
 	host := hostOf(origin)
 	if host == "" {
@@ -361,7 +407,10 @@ func (s *loadState) preconnect(origin string, at time.Duration) {
 	if host == "" {
 		return
 	}
-	ready, _ := s.resolve(host, 0.5, at)
+	ready, _, err := s.resolve(host, 0.5, at)
+	if err != nil {
+		return
+	}
 	key := origin
 	p := s.pools[key]
 	if p == nil {
@@ -415,8 +464,10 @@ func indexByte(s string, c byte) int {
 }
 
 // fetch simulates the full fetch of object idx, ready at readyAt, and
-// returns its completion time. It records the HAR entry.
-func (s *loadState) fetch(idx int, readyAt time.Duration) time.Duration {
+// returns its completion time plus whether it completed. A false return
+// means the fetch died (injected DNS failure, timeout, or truncation);
+// its HAR entry is still recorded, carrying the phase reached.
+func (s *loadState) fetch(idx int, readyAt time.Duration) (time.Duration, bool) {
 	o := s.m.Objects[idx]
 	origin := o.Scheme + "://" + o.Host
 	s.origins[origin] = true
@@ -429,11 +480,20 @@ func (s *loadState) fetch(idx int, readyAt time.Duration) time.Duration {
 			dnsPop = 1
 		}
 	}
-	dnsReady, dnsCost := s.resolve(o.Host, dnsPop, readyAt)
+	dnsReady, dnsCost, dnsErr := s.resolve(o.Host, dnsPop, readyAt)
 	timings := har.Timings{DNS: har.NotApplicable, Connect: har.NotApplicable, SSL: har.NotApplicable}
 	if dnsCost > 0 {
 		timings.DNS = dnsCost
 	}
+	if dnsErr != nil {
+		s.abort(idx, readyAt, dnsReady, timings, "dns", 0, 0)
+		return dnsReady, false
+	}
+
+	// Terminal fault for this request, decided up front so the draw count
+	// per request is constant (one when injection is enabled, zero
+	// otherwise) and runs stay deterministic.
+	fault := s.net.DrawFault(origin)
 
 	// Connection acquisition.
 	p := s.pools[origin]
@@ -519,9 +579,39 @@ func (s *loadState) fetch(idx int, readyAt time.Duration) time.Duration {
 
 	// Request/response.
 	timings.Send = s.net.SendTime()
+
+	// Injected timeout: the request goes out, nothing ever comes back,
+	// and the client abandons the request (and the now-poisoned
+	// connection) after the fault timeout.
+	if fault == simnet.FaultTimeout {
+		timings.Wait = s.net.FaultTimeout()
+		doneAt := start + timings.Send + timings.Wait
+		s.starts[idx] = start
+		s.closeConn(origin, chosen)
+		s.abort(idx, readyAt, doneAt, timings, "wait", 0, 0)
+		return doneAt, false
+	}
+
 	think, backhaul, xcache, server := s.serverSide(o)
 	timings.Wait = s.net.WaitTime(rtt, think, backhaul)
+	if extra := s.net.RetransmitDelay(origin, rtt); extra > 0 {
+		// Packet loss: one retransmission timeout folded into the wait.
+		timings.Wait += extra
+	}
 	timings.Receive = s.net.ReceiveTime(o.Size, rtt)
+
+	// Injected truncation: the transfer dies partway through the body.
+	// The response started (headers and a body prefix arrived), so the
+	// entry keeps status 200 with the partial size.
+	if fault == simnet.FaultTruncated {
+		frac := s.net.TruncateFrac()
+		timings.Receive = time.Duration(float64(timings.Receive) * frac)
+		doneAt := start + timings.Send + timings.Wait + timings.Receive
+		s.starts[idx] = start
+		s.closeConn(origin, chosen)
+		s.abort(idx, readyAt, doneAt, timings, "receive", 200, int64(float64(o.Size)*frac))
+		return doneAt, false
+	}
 
 	doneAt := start + timings.Send + timings.Wait + timings.Receive
 	if !h2 {
@@ -529,6 +619,7 @@ func (s *loadState) fetch(idx int, readyAt time.Duration) time.Duration {
 	}
 	s.done[idx] = doneAt
 	s.starts[idx] = start
+	s.attempted[idx] = true
 
 	status := 200
 	if o.Role == webgen.RoleBeacon && idx%3 == 0 {
@@ -571,7 +662,79 @@ func (s *loadState) fetch(idx int, readyAt time.Duration) time.Duration {
 		Initiator: initiator,
 		Depth:     o.Depth,
 	}
-	return doneAt
+	return doneAt, true
+}
+
+// abort records the HAR entry for a fetch that died, tagging the phase it
+// reached. status 0 means no response arrived; a truncation keeps 200
+// with the partial body size.
+func (s *loadState) abort(idx int, readyAt, doneAt time.Duration, timings har.Timings, phase string, status int, partial int64) {
+	o := s.m.Objects[idx]
+	s.done[idx] = doneAt
+	s.attempted[idx] = true
+	s.failed[idx] = true
+	s.anyFault = true
+	initiator := ""
+	if o.Parent >= 0 {
+		initiator = s.m.Objects[o.Parent].URL
+	}
+	var headers []har.Header
+	mime := ""
+	if status != 0 {
+		headers = []har.Header{{Name: "Content-Type", Value: o.MIME}}
+		mime = o.MIME
+	}
+	s.entries[idx] = har.Entry{
+		StartedAt: s.navStart.Add(readyAt),
+		Time:      doneAt - readyAt,
+		Request:   har.Request{Method: "GET", URL: o.URL},
+		Response: har.Response{
+			Status:   status,
+			Headers:  headers,
+			MIMEType: mime,
+			BodySize: partial,
+		},
+		Timings:   timings,
+		Initiator: initiator,
+		Depth:     o.Depth,
+		Aborted:   phase,
+	}
+}
+
+// closeConn drops a poisoned connection from its origin pool: a request
+// that timed out or was cut short kills the transport underneath it, and
+// the slot returns to the budget.
+func (s *loadState) closeConn(origin string, c *conn) {
+	if c == nil {
+		return
+	}
+	p := s.pools[origin]
+	if p == nil {
+		return
+	}
+	for i, pc := range p.conns {
+		if pc == c {
+			p.conns = append(p.conns[:i], p.conns[i+1:]...)
+			s.nConns--
+			return
+		}
+	}
+}
+
+// compactEntries returns the recorded entries in object order, skipping
+// objects that were never attempted (children of dead fetches). In a
+// fault-free load this is the full entry set, untouched.
+func (s *loadState) compactEntries() []har.Entry {
+	if !s.anyFault {
+		return s.entries
+	}
+	out := make([]har.Entry, 0, len(s.entries))
+	for i := range s.entries {
+		if s.attempted[i] {
+			out = append(out, s.entries[i])
+		}
+	}
+	return out
 }
 
 // popFactor maps object popularity to an origin-side processing-time
@@ -676,6 +839,11 @@ func (s *loadState) pageTimings(rootDone time.Duration) har.PageTimings {
 	var events []vis
 	for i, o := range m.Objects {
 		if o.VisualWeight <= 0 {
+			continue
+		}
+		if !s.attempted[i] || s.failed[i] {
+			// Never fetched, or died mid-fetch: this object never
+			// renders and contributes nothing to visual completeness.
 			continue
 		}
 		totalW += o.VisualWeight

@@ -1,0 +1,51 @@
+package browser
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed load-failure classes. A failed Load returns a *LoadError wrapping
+// one of these sentinels, so callers can switch on errors.Is — the study
+// runner uses the class to decide retry policy and to bucket run metrics.
+var (
+	// ErrTimeout: the root document request hung until the client's
+	// timeout (injected via simnet.FaultConfig).
+	ErrTimeout = errors.New("page load timed out")
+	// ErrDNS: the root document's host failed to resolve (injected via
+	// dnssim.ResolverConfig.FailProb, or authoritative NXDOMAIN).
+	ErrDNS = errors.New("root DNS resolution failed")
+	// ErrTruncated: the root document's body transfer died mid-flight.
+	ErrTruncated = errors.New("root document truncated")
+)
+
+// LoadError is a failed page load. It carries the page URL, the HAR
+// timing phase the fatal request reached ("dns", "wait", "receive"), and
+// the attempt number that failed; Unwrap yields the typed sentinel.
+type LoadError struct {
+	URL     string
+	Phase   string
+	Attempt int
+	Err     error
+}
+
+// Error implements error.
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("browser: %s: %v (phase %s, attempt %d)", e.URL, e.Err, e.Phase, e.Attempt)
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *LoadError) Unwrap() error { return e.Err }
+
+// sentinelForPhase maps the phase a fatal root fetch reached to its
+// typed error class.
+func sentinelForPhase(phase string) error {
+	switch phase {
+	case "dns":
+		return ErrDNS
+	case "receive":
+		return ErrTruncated
+	default:
+		return ErrTimeout
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -13,8 +14,11 @@ import (
 	"repro/internal/cdn"
 	"repro/internal/cdndetect"
 	"repro/internal/dnssim"
+	"repro/internal/har"
 	"repro/internal/hispar"
 	"repro/internal/psl"
+	"repro/internal/runstats"
+	"repro/internal/simnet"
 	"repro/internal/vclock"
 	"repro/internal/webgen"
 )
@@ -25,13 +29,37 @@ type StudyConfig struct {
 	// LandingFetches is how many times each landing page is loaded (the
 	// paper uses 10 and takes medians; internal pages are loaded once).
 	LandingFetches int
-	// Workers bounds load parallelism (default: GOMAXPROCS).
+	// Workers bounds load parallelism (default: GOMAXPROCS). The worker
+	// count never changes what is measured — only how fast it runs.
 	Workers int
 	// CDNWarmthRate and CDNWarmthCeiling shape the popularity→edge-hit
 	// curve (see internal/cdn). The defaults are calibrated so the H1K
 	// study lands near the paper's hit-rate asymmetry.
 	CDNWarmthRate    float64
 	CDNWarmthCeiling float64
+
+	// Faults injects network faults (timeouts, truncations, loss) into
+	// every page load; the zero value injects nothing and reproduces the
+	// fault-free study byte for byte.
+	Faults simnet.FaultConfig
+	// DNSFailProb injects transient resolver failures at this rate
+	// (0 = never). Failures are never cached, so retries can succeed.
+	DNSFailProb float64
+	// MaxAttempts bounds page-load attempts per page, first try included
+	// (default 3).
+	MaxAttempts int
+	// RetryBackoff is the virtual-time wait before the first retry; it
+	// doubles per retry up to RetryBackoffCap (defaults 30s and 4m).
+	RetryBackoff    time.Duration
+	RetryBackoffCap time.Duration
+	// FailureBudget is the fraction of sites allowed to fail before Run
+	// reports the aggregate error alongside the partial result
+	// (default 0.25; negative means unlimited).
+	FailureBudget float64
+	// SitePacing is the virtual-time spacing between site measurement
+	// windows (default 7m — it spreads the run over the paper's
+	// multi-day window, letting resolver TTLs expire between sites).
+	SitePacing time.Duration
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -46,6 +74,21 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	}
 	if c.CDNWarmthCeiling <= 0 {
 		c.CDNWarmthCeiling = 0.97
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 30 * time.Second
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = 4 * time.Minute
+	}
+	if c.FailureBudget == 0 {
+		c.FailureBudget = 0.25
+	}
+	if c.SitePacing <= 0 {
+		c.SitePacing = 7 * time.Minute
 	}
 	return c
 }
@@ -134,10 +177,25 @@ func (s *SiteResult) MixedInternal() int {
 	return n
 }
 
-// StudyResult is a full study over a list.
+// StudyResult is a full study over a list. Sites holds the survivors in
+// list order; Outcomes records the disposition of every input site —
+// including the failed ones — and Stats is the run's metric snapshot.
 type StudyResult struct {
-	List  *hispar.List
-	Sites []SiteResult
+	List     *hispar.List
+	Sites    []SiteResult
+	Outcomes []Outcome
+	Stats    runstats.Snapshot
+}
+
+// FailedSites returns how many input sites yielded no measurement.
+func (r *StudyResult) FailedSites() int {
+	n := 0
+	for i := range r.Outcomes {
+		if !r.Outcomes[i].OK {
+			n++
+		}
+	}
+	return n
 }
 
 // Study runs page loads and measurement for every URL set in the list.
@@ -148,7 +206,12 @@ type Study struct {
 	az       Analyzers
 	cdnSeed  int64
 	clock    *vclock.Clock
+	epoch    time.Time
+	stats    *runstats.Set
 }
+
+// Stats exposes the study's run metrics (live; Snapshot to read).
+func (st *Study) Stats() *runstats.Set { return st.stats }
 
 // NewStudy prepares a study over one web snapshot. It wires the full
 // analysis stack: a warmed ISP resolver over the web's DNS authority, a
@@ -157,9 +220,11 @@ type Study struct {
 func NewStudy(web *webgen.Web, cfg StudyConfig) (*Study, error) {
 	cfg = cfg.withDefaults()
 	// The measurement window spans days (the paper spreads its 30 fetches
-	// per site over 5 days), so the shared resolver sees TTL expiry: the
-	// study clock advances between sites.
-	clock := vclock.New(time.Date(2020, 3, 12, 0, 0, 0, 0, time.UTC))
+	// per site over 5 days). The shared clock and resolver back the
+	// analysis stack only; each site gets its own clock and resolver so
+	// measurements never depend on which worker ran which site first.
+	epoch := time.Date(2020, 3, 12, 0, 0, 0, 0, time.UTC)
+	clock := vclock.New(epoch)
 	resolver := dnssim.NewResolver(dnssim.ResolverConfig{
 		Name:          "isp",
 		Seed:          cfg.Seed,
@@ -182,24 +247,153 @@ func NewStudy(web *webgen.Web, cfg StudyConfig) (*Study, error) {
 		},
 		cdnSeed: cfg.Seed ^ 0x0cd17,
 		clock:   clock,
+		epoch:   epoch,
+		stats:   runstats.NewSet(),
 	}, nil
 }
 
 // Analyzers exposes the study's analysis stack (useful for tests).
 func (st *Study) Analyzers() Analyzers { return st.az }
 
-// newBrowser builds a per-worker browser sharing the study's resolver.
+// newBrowser builds a browser sharing the study's resolver — the
+// fault-free path MeasureSite uses directly.
 func (st *Study) newBrowser(seed int64) (*browser.Browser, error) {
+	return st.newBrowserWith(seed, st.resolver)
+}
+
+func (st *Study) newBrowserWith(seed int64, resolver *dnssim.Resolver) (*browser.Browser, error) {
 	warmth := cdn.PopularityWarmth(st.cfg.CDNWarmthRate, st.cfg.CDNWarmthCeiling)
 	var ctr int64
 	return browser.New(browser.Config{
 		Seed:     seed,
-		Resolver: st.resolver,
+		Resolver: resolver,
+		Net:      simnet.Config{Faults: st.cfg.Faults},
 		CDNFactory: func() *cdn.Network {
 			n := atomic.AddInt64(&ctr, 1)
 			return cdn.NewNetwork(1<<14, warmth, seed+n*104729)
 		},
 	})
+}
+
+// siteCtx is one site's isolated measurement context: its own virtual
+// clock pinned to the site's slot in the study window, its own resolver,
+// and its own browser. Nothing here is shared across sites, which is
+// what makes a study's measurements identical at any worker count.
+type siteCtx struct {
+	clock *vclock.Clock
+	b     *browser.Browser
+}
+
+// newSiteCtx builds the context for site i.
+func (st *Study) newSiteCtx(i int) (*siteCtx, error) {
+	clock := vclock.New(st.epoch.Add(time.Duration(i) * st.cfg.SitePacing))
+	resolver := dnssim.NewResolver(dnssim.ResolverConfig{
+		Name:          "isp",
+		Seed:          st.cfg.Seed + int64(i)*7919,
+		ClientRTT:     3 * time.Millisecond,
+		UpstreamTime:  80 * time.Millisecond,
+		WarmQueryRate: 0.8,
+		FailProb:      st.cfg.DNSFailProb,
+	}, st.web.Authority(), clock.Now)
+	b, err := st.newBrowserWith(st.cfg.Seed+int64(i)*6151, resolver)
+	if err != nil {
+		return nil, err
+	}
+	return &siteCtx{clock: clock, b: b}, nil
+}
+
+// loadWithRetry attempts one page load up to MaxAttempts times, backing
+// off in virtual time with doubling waits capped at RetryBackoffCap.
+// Each attempt redraws the injected faults (the attempt number feeds the
+// fault RNG seed), so transient failures clear the way they would in a
+// real re-crawl. It returns the attempts consumed alongside the result.
+func (st *Study) loadWithRetry(sc *siteCtx, m *webgen.PageModel, fetchID int) (*har.Log, int, error) {
+	backoff := st.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		log, err := sc.b.LoadAttempt(m, fetchID, attempt)
+		if err == nil {
+			sc.clock.Advance(log.Page.Timings.OnLoad)
+			st.stats.Inc("loads.ok", 1)
+			st.stats.Observe("load.onload.ms", float64(log.Page.Timings.OnLoad.Milliseconds()))
+			return log, attempt + 1, nil
+		}
+		class := Classify(err)
+		st.stats.Inc("loads.err."+string(class), 1)
+		if !class.Retryable() || attempt+1 >= st.cfg.MaxAttempts {
+			return nil, attempt + 1, err
+		}
+		sc.clock.Advance(backoff)
+		st.stats.Inc("retries.total", 1)
+		st.stats.Observe("retry.backoff.ms", float64(backoff.Milliseconds()))
+		backoff *= 2
+		if backoff > st.cfg.RetryBackoffCap {
+			backoff = st.cfg.RetryBackoffCap
+		}
+	}
+}
+
+// measureSiteResilient measures one site with per-page retries and
+// graceful degradation: the landing page must survive (its loss fails
+// the site), while internal pages that exhaust their retries are dropped
+// from the result and counted in the outcome.
+func (st *Study) measureSiteResilient(i int, set hispar.URLSet) (res SiteResult, out Outcome) {
+	out = Outcome{Domain: set.Domain, Rank: set.Rank}
+	fail := func(err error, class ErrorClass) (SiteResult, Outcome) {
+		out.Class = class
+		out.Err = fmt.Errorf("core: site %s: %w", set.Domain, err)
+		return SiteResult{}, out
+	}
+	sc, err := st.newSiteCtx(i)
+	if err != nil {
+		return fail(err, ClassConfig)
+	}
+	start := sc.clock.Now()
+	// Named returns so the deferred stamp reaches every exit path,
+	// including the failure ones.
+	defer func() { out.Elapsed = sc.clock.Since(start) }()
+
+	site, ok := st.web.SiteByDomain(set.Domain)
+	if !ok {
+		return fail(fmt.Errorf("site not in web snapshot"), ClassConfig)
+	}
+	res = SiteResult{Domain: set.Domain, Rank: set.Rank, Category: string(site.Category)}
+
+	// Landing page: repeated cold-cache fetches, median timings.
+	model := site.Landing().Build()
+	var fetches []PageMeasurement
+	for f := 0; f < st.cfg.LandingFetches; f++ {
+		log, attempts, err := st.loadWithRetry(sc, model, f)
+		out.Attempts += attempts
+		out.Retries += attempts - 1
+		if err != nil {
+			return fail(err, Classify(err))
+		}
+		fetches = append(fetches, MeasurePage(log, model, st.az))
+	}
+	res.Landing = medianizeTimings(fetches)
+
+	// Internal pages: one fetch each. A page that exhausts its retries
+	// is dropped — the paper's harness kept sites whose internal URLs
+	// partially failed rather than discarding the whole site.
+	for _, u := range set.Internal {
+		page, ok := st.web.PageByURL(u)
+		if !ok {
+			return fail(fmt.Errorf("URL %s not in web snapshot", u), ClassConfig)
+		}
+		im := page.Build()
+		log, attempts, err := st.loadWithRetry(sc, im, 0)
+		out.Attempts += attempts
+		out.Retries += attempts - 1
+		if err != nil {
+			out.FailedPages++
+			st.stats.Inc("pages.dropped", 1)
+			continue
+		}
+		res.Internal = append(res.Internal, MeasurePage(log, im, st.az))
+	}
+	st.stats.Inc("pages.measured", int64(1+len(res.Internal)))
+	out.OK = true
+	return res, out
 }
 
 // MeasureSite fetches and measures one URL set.
@@ -265,43 +459,75 @@ func medianizeTimings(fetches []PageMeasurement) PageMeasurement {
 	return out
 }
 
-// Run measures every site in the list, in parallel.
+// Run measures every site in the list, in parallel, and degrades
+// gracefully: sites that fail after retries are recorded in Outcomes and
+// excluded from Sites instead of killing the run. Every site is always
+// attempted — the failure budget decides only whether Run reports an
+// aggregate error (errors.Join of the per-site failures) alongside the
+// partial result. Measurements are a pure function of the list and the
+// config: the worker count and scheduling order never change them.
 func (st *Study) Run(list *hispar.List) (*StudyResult, error) {
-	results := make([]SiteResult, len(list.Sets))
-	errs := make([]error, len(list.Sets))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, st.cfg.Workers)
+	n := len(list.Sets)
+	results := make([]SiteResult, n)
+	outcomes := make([]Outcome, n)
 	// Validate the browser configuration before fanning out.
 	if _, err := st.newBrowser(st.cfg.Seed); err != nil {
 		return nil, err
 	}
-	var bErr error
-	for i := range list.Sets {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wallStart := time.Now()
+	for w := 0; w < st.cfg.Workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func(w int) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			b, err := st.newBrowser(st.cfg.Seed + int64(i)*6151)
-			if err != nil {
-				errs[i] = err
-				return
+			var busy time.Duration
+			sites := 0
+			for i := range jobs {
+				t0 := time.Now()
+				results[i], outcomes[i] = st.measureSiteResilient(i, list.Sets[i])
+				busy += time.Since(t0)
+				sites++
 			}
-			results[i], errs[i] = st.MeasureSite(b, list.Sets[i])
-			// ~7 virtual minutes per site spreads the run over the
-			// paper's multi-day window, letting resolver TTLs expire.
-			st.clock.Advance(7 * time.Minute)
-		}(i)
+			if wall := time.Since(wallStart); wall > 0 {
+				st.stats.SetGauge(fmt.Sprintf("worker.%d.utilization", w), busy.Seconds()/wall.Seconds())
+			}
+			st.stats.Inc(fmt.Sprintf("worker.%d.sites", w), int64(sites))
+		}(w)
 	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			bErr = err
-			break
+	// Keep the analysis clock at the end of the study window.
+	st.clock.AdvanceTo(st.epoch.Add(time.Duration(n) * st.cfg.SitePacing))
+
+	res := &StudyResult{List: list, Outcomes: outcomes}
+	var siteErrs []error
+	for i := range outcomes {
+		st.stats.Observe("site.attempts", float64(outcomes[i].Attempts))
+		if outcomes[i].OK {
+			res.Sites = append(res.Sites, results[i])
+		} else {
+			siteErrs = append(siteErrs, outcomes[i].Err)
 		}
 	}
-	if bErr != nil {
-		return nil, bErr
+	st.stats.Inc("sites.total", int64(n))
+	st.stats.Inc("sites.ok", int64(n-len(siteErrs)))
+	st.stats.Inc("sites.failed", int64(len(siteErrs)))
+	if n > 0 {
+		st.stats.SetGauge("failure.budget.used", float64(len(siteErrs))/float64(n))
 	}
-	return &StudyResult{List: list, Sites: results}, nil
+	res.Stats = st.stats.Snapshot()
+
+	if st.cfg.FailureBudget >= 0 {
+		allowed := int(st.cfg.FailureBudget * float64(n))
+		if len(siteErrs) > allowed {
+			err := fmt.Errorf("core: %d/%d sites failed, exceeding the failure budget of %d: %w",
+				len(siteErrs), n, allowed, errors.Join(siteErrs...))
+			return res, err
+		}
+	}
+	return res, nil
 }

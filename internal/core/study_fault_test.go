@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/hispar"
+	"repro/internal/search"
+	"repro/internal/simnet"
+	"repro/internal/toplist"
+	"repro/internal/webgen"
+)
+
+// faultWeb builds a small web + Hispar list for the fault-injection
+// tests (the smoke test's pipeline at reduced scale).
+func faultWeb(t *testing.T) (*webgen.Web, *hispar.List) {
+	t.Helper()
+	u := toplist.NewUniverse(toplist.Config{Seed: 7, Size: 300})
+	entries := u.Top(30)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: 7, Sites: seeds})
+	eng := search.New(web, search.Config{EnglishOnly: true})
+	list, _, err := hispar.Build(eng, entries, hispar.BuildConfig{
+		Sites: 12, URLsPerSite: 5, MinResults: 3, Name: "Hfault",
+	})
+	if err != nil {
+		t.Fatalf("hispar build: %v", err)
+	}
+	return web, list
+}
+
+// runStudy runs one study over the fault web with the given config knobs
+// applied on top of the shared small-scale base.
+func runStudy(t *testing.T, web *webgen.Web, list *hispar.List, mutate func(*StudyConfig)) (*StudyResult, error) {
+	t.Helper()
+	cfg := StudyConfig{Seed: 7, LandingFetches: 2}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	st, err := NewStudy(web, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Run(list)
+}
+
+// outcomeKey strips the non-comparable error from an Outcome so whole
+// runs can be compared for determinism.
+type outcomeKey struct {
+	Domain      string
+	OK          bool
+	Attempts    int
+	Retries     int
+	FailedPages int
+	Class       ErrorClass
+	Elapsed     time.Duration
+}
+
+func keysOf(outs []Outcome) []outcomeKey {
+	ks := make([]outcomeKey, len(outs))
+	for i, o := range outs {
+		ks[i] = outcomeKey{o.Domain, o.OK, o.Attempts, o.Retries, o.FailedPages, o.Class, o.Elapsed}
+	}
+	return ks
+}
+
+// TestStudyRetriesUntilSuccess injects a ~5% fault mix and checks the
+// run completes with most sites measured, retries visible in outcomes,
+// and per-class error counts in the metrics.
+func TestStudyRetriesUntilSuccess(t *testing.T) {
+	web, list := faultWeb(t)
+	res, err := runStudy(t, web, list, func(c *StudyConfig) {
+		c.Faults = simnet.FaultConfig{Rates: simnet.FaultRates{Timeout: 0.03, Truncate: 0.02}}
+		c.DNSFailProb = 0.05
+	})
+	if err != nil {
+		t.Fatalf("a 5%% fault rate must stay inside the default failure budget: %v", err)
+	}
+	if len(res.Outcomes) != len(list.Sets) {
+		t.Fatalf("outcomes %d != sites %d", len(res.Outcomes), len(list.Sets))
+	}
+	if got := len(res.Sites); got < len(list.Sets)*9/10 {
+		t.Errorf("only %d/%d sites yielded measurements, want >=90%%", got, len(list.Sets))
+	}
+	retries := 0
+	for _, o := range res.Outcomes {
+		retries += o.Retries
+	}
+	if retries == 0 {
+		t.Error("no retries at a 5% fault rate — injection is not reaching the runner")
+	}
+	var classed int64
+	for _, c := range []ErrorClass{ClassDNS, ClassTimeout, ClassTruncated} {
+		classed += res.Stats.Counters["loads.err."+string(c)]
+	}
+	if classed == 0 {
+		t.Error("metrics carry no per-class error counts")
+	}
+	if res.Stats.Counters["loads.ok"] == 0 || res.Stats.Counters["sites.total"] != int64(len(list.Sets)) {
+		t.Errorf("load accounting off: %+v", res.Stats.Counters)
+	}
+}
+
+// TestFailureBudgetExhaustion pins the resolver failure rate to 1 so
+// every site dies after its retries: Run must return the partial result
+// plus an aggregate error that joins the per-site failures.
+func TestFailureBudgetExhaustion(t *testing.T) {
+	web, list := faultWeb(t)
+	res, err := runStudy(t, web, list, func(c *StudyConfig) {
+		c.DNSFailProb = 1
+		c.MaxAttempts = 2
+	})
+	if err == nil {
+		t.Fatal("total failure must exceed the default budget")
+	}
+	if !errors.Is(err, browser.ErrDNS) {
+		t.Errorf("aggregate error must join the per-site DNS failures: %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial result must survive a budget breach")
+	}
+	if len(res.Sites) != 0 || res.FailedSites() != len(list.Sets) {
+		t.Errorf("want all %d sites failed, got %d ok / %d failed",
+			len(list.Sets), len(res.Sites), res.FailedSites())
+	}
+	for _, o := range res.Outcomes {
+		if o.Class != ClassDNS || o.Err == nil {
+			t.Errorf("%s: class=%q err=%v, want dns", o.Domain, o.Class, o.Err)
+		}
+		// The landing page dies on fetch 0 after MaxAttempts tries.
+		if o.Attempts != 2 {
+			t.Errorf("%s: attempts=%d, want 2", o.Domain, o.Attempts)
+		}
+		if o.Elapsed <= 0 {
+			t.Errorf("%s: elapsed=%v, want >0 (backoff consumes virtual time)", o.Domain, o.Elapsed)
+		}
+	}
+	// An unlimited budget turns the same run into a degraded success.
+	res2, err2 := runStudy(t, web, list, func(c *StudyConfig) {
+		c.DNSFailProb = 1
+		c.MaxAttempts = 2
+		c.FailureBudget = -1
+	})
+	if err2 != nil {
+		t.Fatalf("unlimited budget must not error: %v", err2)
+	}
+	if res2.FailedSites() != len(list.Sets) {
+		t.Errorf("failed sites = %d, want %d", res2.FailedSites(), len(list.Sets))
+	}
+}
+
+// TestFaultedStudyDeterministic runs the same faulted study twice and
+// demands identical measurements and outcomes — fault injection must be
+// as reproducible as the fault-free path.
+func TestFaultedStudyDeterministic(t *testing.T) {
+	web, list := faultWeb(t)
+	run := func() *StudyResult {
+		res, err := runStudy(t, web, list, func(c *StudyConfig) {
+			c.Faults = simnet.FaultConfig{Rates: simnet.FaultRates{Timeout: 0.05, Truncate: 0.03, Loss: 0.05}}
+			c.DNSFailProb = 0.05
+			c.FailureBudget = -1
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(keysOf(a.Outcomes), keysOf(b.Outcomes)) {
+		t.Fatalf("outcomes differ across identical faulted runs:\n%+v\n%+v", keysOf(a.Outcomes), keysOf(b.Outcomes))
+	}
+	if !reflect.DeepEqual(a.Sites, b.Sites) {
+		t.Fatal("site measurements differ across identical faulted runs")
+	}
+}
+
+// TestWorkerCountInvariance locks the tentpole guarantee: the study's
+// measurements are a pure function of list + config; worker parallelism
+// must never leak into them. Run with and without faults.
+func TestWorkerCountInvariance(t *testing.T) {
+	web, list := faultWeb(t)
+	cases := []struct {
+		name   string
+		mutate func(*StudyConfig)
+	}{
+		{"fault-free", nil},
+		{"faulted", func(c *StudyConfig) {
+			c.Faults = simnet.FaultConfig{Rates: simnet.FaultRates{Timeout: 0.04, Loss: 0.05}}
+			c.DNSFailProb = 0.04
+			c.FailureBudget = -1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(workers int) *StudyResult {
+				res, err := runStudy(t, web, list, func(c *StudyConfig) {
+					c.Workers = workers
+					if tc.mutate != nil {
+						tc.mutate(c)
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial, parallel := run(1), run(8)
+			if !reflect.DeepEqual(serial.Sites, parallel.Sites) {
+				for i := range serial.Sites {
+					if !reflect.DeepEqual(serial.Sites[i], parallel.Sites[i]) {
+						t.Fatalf("site %s measured differently at Workers=1 vs 8:\n%+v\n%+v",
+							serial.Sites[i].Domain, serial.Sites[i], parallel.Sites[i])
+					}
+				}
+				t.Fatal("site sets differ between Workers=1 and Workers=8")
+			}
+			if !reflect.DeepEqual(keysOf(serial.Outcomes), keysOf(parallel.Outcomes)) {
+				t.Fatal("outcomes differ between Workers=1 and Workers=8")
+			}
+		})
+	}
+}

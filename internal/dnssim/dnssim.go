@@ -13,6 +13,7 @@
 package dnssim
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -20,6 +21,12 @@ import (
 	"sync"
 	"time"
 )
+
+// ErrInjected marks a transient injected resolver failure (the simulated
+// analogue of a SERVFAIL or a lost resolver datagram). Callers distinguish
+// it from NXDOMAIN with errors.Is: injected failures are transient and
+// worth retrying, NXDOMAIN is authoritative.
+var ErrInjected = errors.New("injected resolver failure")
 
 // Record is one authoritative DNS mapping. Chain holds the CNAME chain
 // traversed before the terminal A record (empty for directly hosted
@@ -100,6 +107,12 @@ type ResolverConfig struct {
 	// r = WarmQueryRate·p / Shards — the steady-state hit rate of a TTL
 	// cache under Poisson arrivals.
 	WarmQueryRate float64
+	// FailProb is the probability that a query which must go upstream
+	// fails transiently (SERVFAIL / lost datagram). Cached answers never
+	// fail, and failures are never cached, so retries can succeed. Fault
+	// draws use a dedicated RNG: FailProb = 0 leaves the latency stream
+	// untouched.
+	FailProb float64
 }
 
 // Resolver is a caching recursive resolver. Safe for concurrent use.
@@ -109,6 +122,7 @@ type Resolver struct {
 	now   func() time.Time
 	mu    sync.Mutex
 	rng   *rand.Rand
+	frng  *rand.Rand              // fault draws only; nil when FailProb == 0
 	cache []map[string]cacheEntry // one map per shard
 }
 
@@ -138,13 +152,17 @@ func NewResolver(cfg ResolverConfig, auth Authority, now func() time.Time) *Reso
 	for i := range caches {
 		caches[i] = make(map[string]cacheEntry)
 	}
-	return &Resolver{
+	r := &Resolver{
 		cfg:   cfg,
 		auth:  auth,
 		now:   now,
 		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5d15)),
 		cache: caches,
 	}
+	if cfg.FailProb > 0 {
+		r.frng = rand.New(rand.NewSource(cfg.Seed ^ 0xfa11))
+	}
+	return r
 }
 
 // Name returns the resolver's configured name.
@@ -178,6 +196,15 @@ func (r *Resolver) Resolve(host string, popularity float64) (Result, error) {
 
 	if e, ok := r.cache[shard][host]; ok && e.expires.After(now) {
 		return Result{Record: e.rec, Latency: jitter(r.cfg.ClientRTT), CacheHit: true}, nil
+	}
+
+	// Injected transient failure: the upstream exchange dies. The client
+	// burns a few upstream timeouts before giving up; nothing is cached,
+	// so a retry redraws its fate.
+	if r.frng != nil && r.frng.Float64() < r.cfg.FailProb {
+		lat := r.cfg.ClientRTT + 4*r.cfg.UpstreamTime
+		lat += time.Duration(r.frng.NormFloat64() * float64(lat) * 0.15)
+		return Result{Latency: lat}, fmt.Errorf("dnssim: %s: %w", host, ErrInjected)
 	}
 
 	rec, ok := r.auth.Lookup(host)

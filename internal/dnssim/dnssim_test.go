@@ -1,6 +1,8 @@
 package dnssim
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -148,5 +150,57 @@ func TestHitRateProbeSecondQueryAlwaysWarm(t *testing.T) {
 	rate := HitRateProbe(r, hosts, nil, 25*time.Millisecond)
 	if rate != 0 {
 		t.Errorf("probe rate = %.2f, want 0 with cold cache", rate)
+	}
+}
+
+func TestInjectedFailuresAreTransientAndUncached(t *testing.T) {
+	r := newTestResolver(ResolverConfig{Name: "t", Seed: 3, FailProb: 0.5}, nil)
+	fails := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		host := fmt.Sprintf("h%d.example", i)
+		res, err := r.Resolve(host, 0)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if res.Latency <= 0 {
+				t.Fatal("failed query must still cost time")
+			}
+			fails++
+		}
+	}
+	if fails < n/5 || fails > 4*n/5 {
+		t.Errorf("injected failure count %d/%d far from 50%%", fails, n)
+	}
+	// A host that eventually resolves is cached; cached answers never fail.
+	var host string
+	for i := 0; ; i++ {
+		host = "stable.example"
+		if _, err := r.Resolve(host, 0); err == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatal("retry never succeeded at FailProb 0.5")
+		}
+	}
+	for i := 0; i < 20; i++ {
+		res, err := r.Resolve(host, 0)
+		if err != nil || !res.CacheHit {
+			t.Fatalf("cached answer failed: hit=%v err=%v", res.CacheHit, err)
+		}
+	}
+}
+
+func TestZeroFailProbMatchesSeedLatencies(t *testing.T) {
+	a := newTestResolver(ResolverConfig{Name: "a", Seed: 11}, nil)
+	b := newTestResolver(ResolverConfig{Name: "b", Seed: 11, FailProb: 0}, nil)
+	for i := 0; i < 50; i++ {
+		host := "h" + string(rune('a'+i%26)) + ".example"
+		ra, ea := a.Resolve(host, 0.4)
+		rb, eb := b.Resolve(host, 0.4)
+		if (ea == nil) != (eb == nil) || ra.Latency != rb.Latency || ra.CacheHit != rb.CacheHit {
+			t.Fatalf("query %d diverged: %+v/%v vs %+v/%v", i, ra, ea, rb, eb)
+		}
 	}
 }

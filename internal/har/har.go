@@ -74,7 +74,17 @@ type Entry struct {
 	Initiator string `json:"_initiator,omitempty"`
 	// Depth is the shortest-path depth from the root document (root = 0).
 	Depth int `json:"_depth"`
+	// Aborted, when non-empty, marks a failed fetch and records the HAR
+	// timing phase the request reached before dying: "dns" (resolution
+	// failed), "wait" (request sent, no response until the client's
+	// timeout), or "receive" (body transfer truncated). Failed fetches
+	// stay in the log — the paper's harness recorded them too — with
+	// Status 0 except for truncations, which carry the partial body.
+	Aborted string `json:"_aborted,omitempty"`
 }
+
+// Failed reports whether this entry records a fetch that did not complete.
+func (e *Entry) Failed() bool { return e.Aborted != "" }
 
 // Request is the HAR request record.
 type Request struct {

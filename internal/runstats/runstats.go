@@ -1,0 +1,251 @@
+// Package runstats is a lightweight in-process metrics layer for the
+// study runner: named counters, gauges, and log-bucketed histograms. The
+// paper's harness ran for weeks against tens of thousands of pages and
+// survived on exactly this kind of bookkeeping — how many loads ran, how
+// many died and why, how long retries stalled each worker — so the repro
+// keeps the same discipline. Everything is concurrency-safe, allocation
+// is bounded by the number of distinct metric names, and there are no
+// dependencies beyond the standard library.
+package runstats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// bucketsPerDecade sets histogram resolution: values are bucketed by
+// log10 with this many sub-divisions per decade, giving ~26% wide
+// buckets — coarse, but plenty for run diagnostics.
+const bucketsPerDecade = 4
+
+// Set is a collection of named metrics. The zero value is NOT usable;
+// call NewSet.
+type Set struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+// NewSet returns an empty metric set.
+func NewSet() *Set {
+	return &Set{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Inc adds delta to the named counter, creating it at zero first.
+func (s *Set) Inc(name string, delta int64) {
+	s.mu.Lock()
+	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// SetGauge records the current value of the named gauge.
+func (s *Set) SetGauge(name string, v float64) {
+	s.mu.Lock()
+	s.gauges[name] = v
+	s.mu.Unlock()
+}
+
+// Observe adds one sample to the named histogram. Non-finite samples are
+// dropped; negative ones clamp to zero (durations and counts are the
+// only things observed here).
+func (s *Set) Observe(name string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s.mu.Lock()
+	h := s.hists[name]
+	if h == nil {
+		h = &histogram{min: math.Inf(1), buckets: make(map[int]int64)}
+		s.hists[name] = h
+	}
+	h.observe(v)
+	s.mu.Unlock()
+}
+
+// histogram holds log-scale buckets plus exact count/sum/min/max.
+type histogram struct {
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  map[int]int64 // bucket index → sample count
+}
+
+// bucketOf maps a sample to its log-scale bucket index. Zero (and
+// sub-1e-9) samples get a dedicated underflow bucket.
+func bucketOf(v float64) int {
+	if v < 1e-9 {
+		return math.MinInt32
+	}
+	return int(math.Floor(math.Log10(v) * bucketsPerDecade))
+}
+
+// bucketUpper is the upper edge of a bucket: samples in bucket i lie in
+// (bucketUpper(i-1), bucketUpper(i)].
+func bucketUpper(i int) float64 {
+	if i == math.MinInt32 {
+		return 0
+	}
+	return math.Pow(10, float64(i+1)/bucketsPerDecade)
+}
+
+func (h *histogram) observe(v float64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+// quantile estimates the q-quantile (0..1) from the bucket upper edges,
+// clamped to the observed min/max so tiny sample counts do not report
+// impossible values.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	idxs := make([]int, 0, len(h.buckets))
+	for i := range h.buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, i := range idxs {
+		seen += h.buckets[i]
+		if seen >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// HistSnapshot is the exported view of one histogram.
+type HistSnapshot struct {
+	Count         int64
+	Sum           float64
+	Min, Max      float64
+	Mean          float64
+	P50, P90, P99 float64
+}
+
+// Snapshot is a point-in-time copy of every metric in a Set. It is
+// detached: mutating the Set afterwards does not change it.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistSnapshot
+}
+
+// Snapshot copies the current state of every metric.
+func (s *Set) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(s.counters)),
+		Gauges:     make(map[string]float64, len(s.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(s.hists)),
+	}
+	for k, v := range s.counters {
+		snap.Counters[k] = v
+	}
+	for k, v := range s.gauges {
+		snap.Gauges[k] = v
+	}
+	for k, h := range s.hists {
+		hs := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			hs.Mean = h.sum / float64(h.count)
+			hs.P50 = h.quantile(0.50)
+			hs.P90 = h.quantile(0.90)
+			hs.P99 = h.quantile(0.99)
+		} else {
+			hs.Min = 0
+		}
+		snap.Histograms[k] = hs
+	}
+	return snap
+}
+
+// Counter returns the named counter's current value (0 if absent).
+func (s *Set) Counter(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Gauge returns the named gauge's current value (0 if absent).
+func (s *Set) Gauge(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gauges[name]
+}
+
+// Render writes the snapshot as an aligned, name-sorted report — the
+// shape cmd/webmeasure and cmd/diag print after a run.
+func (snap Snapshot) Render(w io.Writer) {
+	names := func(n int) []string { return make([]string, 0, n) }
+
+	if len(snap.Counters) > 0 {
+		fmt.Fprintf(w, "counters:\n")
+		ks := names(len(snap.Counters))
+		for k := range snap.Counters {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			fmt.Fprintf(w, "  %-36s %d\n", k, snap.Counters[k])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintf(w, "gauges:\n")
+		ks := names(len(snap.Gauges))
+		for k := range snap.Gauges {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			fmt.Fprintf(w, "  %-36s %.3f\n", k, snap.Gauges[k])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintf(w, "histograms:\n")
+		ks := names(len(snap.Histograms))
+		for k := range snap.Histograms {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			h := snap.Histograms[k]
+			fmt.Fprintf(w, "  %-36s n=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g\n",
+				k, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max)
+		}
+	}
+}
+
+// Render is a convenience that snapshots and renders in one step.
+func (s *Set) Render(w io.Writer) { s.Snapshot().Render(w) }

@@ -1,0 +1,124 @@
+package runstats
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAndGauges(t *testing.T) {
+	s := NewSet()
+	s.Inc("loads.ok", 1)
+	s.Inc("loads.ok", 2)
+	s.Inc("loads.err.timeout", 1)
+	s.SetGauge("worker.0.utilization", 0.75)
+	s.SetGauge("worker.0.utilization", 0.5) // gauges overwrite
+
+	if got := s.Counter("loads.ok"); got != 3 {
+		t.Errorf("loads.ok = %d, want 3", got)
+	}
+	if got := s.Counter("never.touched"); got != 0 {
+		t.Errorf("absent counter = %d, want 0", got)
+	}
+	if got := s.Gauge("worker.0.utilization"); got != 0.5 {
+		t.Errorf("gauge = %v, want 0.5", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	s := NewSet()
+	for i := 1; i <= 100; i++ {
+		s.Observe("retry.backoff", float64(i))
+	}
+	h := s.Snapshot().Histograms["retry.backoff"]
+	if h.Count != 100 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Min != 1 || h.Max != 100 {
+		t.Errorf("min/max = %v/%v, want 1/100", h.Min, h.Max)
+	}
+	if h.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", h.Mean)
+	}
+	// Log buckets are ~26% wide; quantiles must land in the right decade.
+	if h.P50 < 30 || h.P50 > 80 {
+		t.Errorf("p50 = %v, want within a bucket of 50", h.P50)
+	}
+	if h.P99 < 80 || h.P99 > 100 {
+		t.Errorf("p99 = %v, want within a bucket of 99", h.P99)
+	}
+	if h.P50 > h.P90 || h.P90 > h.P99 {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", h.P50, h.P90, h.P99)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	s := NewSet()
+	s.Observe("x", 0)            // underflow bucket
+	s.Observe("x", -5)           // clamps to 0
+	s.Observe("x", math.NaN())   // dropped
+	s.Observe("x", math.Inf(1))  // dropped
+	s.Observe("x", math.Inf(-1)) // dropped
+	h := s.Snapshot().Histograms["x"]
+	if h.Count != 2 {
+		t.Fatalf("count = %d, want 2 (zero + clamped)", h.Count)
+	}
+	if h.Min != 0 || h.Max != 0 || h.P99 != 0 {
+		t.Errorf("all-zero histogram: %+v", h)
+	}
+}
+
+func TestSnapshotIsDetached(t *testing.T) {
+	s := NewSet()
+	s.Inc("a", 1)
+	s.Observe("h", 2)
+	snap := s.Snapshot()
+	s.Inc("a", 10)
+	s.Observe("h", 200)
+	if snap.Counters["a"] != 1 {
+		t.Error("snapshot counter mutated by later Inc")
+	}
+	if snap.Histograms["h"].Count != 1 {
+		t.Error("snapshot histogram mutated by later Observe")
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := NewSet()
+	s.Inc("loads.total", 42)
+	s.SetGauge("budget.used", 0.1)
+	s.Observe("load.ms", 1500)
+	var b strings.Builder
+	s.Render(&b)
+	out := b.String()
+	for _, want := range []string{"counters:", "loads.total", "42", "gauges:", "budget.used", "histograms:", "load.ms", "n=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Inc("n", 1)
+				s.Observe("v", float64(i))
+				s.SetGauge("g", float64(i))
+				_ = s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("n"); got != 8*500 {
+		t.Errorf("n = %d, want %d", got, 8*500)
+	}
+	if h := s.Snapshot().Histograms["v"]; h.Count != 8*500 {
+		t.Errorf("histogram count = %d, want %d", h.Count, 8*500)
+	}
+}

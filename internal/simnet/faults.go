@@ -1,0 +1,149 @@
+// Fault injection: the failure model layered on top of the transport
+// timing model. Real measurement platforms treat per-page failure as the
+// normal case — loads hang, transfers die mid-flight, lossy paths
+// retransmit — so the simulator can inject those events with configurable
+// per-origin probabilities. All draws come from a dedicated RNG so that a
+// zero-rate configuration consumes no entropy and stays byte-identical to
+// a fault-free run.
+package simnet
+
+import (
+	"time"
+)
+
+// Fault classifies an injected transport failure for one request.
+type Fault int
+
+// Fault kinds.
+const (
+	// FaultNone: the request proceeds normally.
+	FaultNone Fault = iota
+	// FaultTimeout: the request is sent but no response ever arrives; the
+	// client gives up after FaultConfig.Timeout of virtual time.
+	FaultTimeout
+	// FaultTruncated: the response dies partway through the body transfer
+	// (connection reset mid-download).
+	FaultTruncated
+)
+
+// String returns a short fault-class name.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultTimeout:
+		return "timeout"
+	case FaultTruncated:
+		return "truncated"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultRates is a set of per-request failure probabilities.
+type FaultRates struct {
+	// Timeout is the probability a request hangs until the fault timeout.
+	Timeout float64
+	// Truncate is the probability the body transfer is cut short.
+	Truncate float64
+	// Loss is the probability a request observes packet loss and pays a
+	// retransmission delay (a slowdown, not a failure).
+	Loss float64
+}
+
+func (r FaultRates) zero() bool { return r.Timeout <= 0 && r.Truncate <= 0 && r.Loss <= 0 }
+
+// FaultConfig parameterizes fault injection for a Model.
+type FaultConfig struct {
+	// Rates is the base per-request probability set.
+	Rates FaultRates
+	// PerOrigin overrides Rates for specific origins, keyed by
+	// "scheme://host". An entry fully replaces the base rates for that
+	// origin (zero-valued fields disable that fault there).
+	PerOrigin map[string]FaultRates
+	// Timeout is how long, in virtual time, a hung request wastes before
+	// the client abandons it. Default 30s (browser-era request timeout).
+	Timeout time.Duration
+}
+
+// Enabled reports whether any fault can ever fire.
+func (c FaultConfig) Enabled() bool {
+	if !c.Rates.zero() {
+		return true
+	}
+	for _, r := range c.PerOrigin {
+		if !r.zero() {
+			return true
+		}
+	}
+	return false
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// ratesFor returns the effective rates for an origin.
+func (m *Model) ratesFor(origin string) FaultRates {
+	if r, ok := m.cfg.Faults.PerOrigin[origin]; ok {
+		return r
+	}
+	return m.cfg.Faults.Rates
+}
+
+// DrawFault decides whether the next request to origin fails, and how.
+// It consumes exactly one draw per call when fault injection is enabled
+// (and none otherwise), keeping fault-free timing byte-identical and
+// faulted runs deterministic under a fixed seed.
+func (m *Model) DrawFault(origin string) Fault {
+	if m.frng == nil {
+		return FaultNone
+	}
+	r := m.ratesFor(origin)
+	u := m.frng.Float64()
+	switch {
+	case u < r.Timeout:
+		return FaultTimeout
+	case u < r.Timeout+r.Truncate:
+		return FaultTruncated
+	default:
+		return FaultNone
+	}
+}
+
+// FaultTimeout returns the virtual time a hung request wastes before the
+// client gives up.
+func (m *Model) FaultTimeout() time.Duration { return m.cfg.Faults.Timeout }
+
+// TruncateFrac returns the fraction of the body that arrived before a
+// truncated transfer died: uniform in [0.1, 0.9).
+func (m *Model) TruncateFrac() float64 {
+	if m.frng == nil {
+		return 1
+	}
+	return 0.1 + 0.8*m.frng.Float64()
+}
+
+// RetransmitDelay returns the extra wait a lossy path adds to a request:
+// with probability Loss the request loses a packet and pays one
+// retransmission timeout (RTO = max(1s, 2·RTT), RFC 6298's floor).
+func (m *Model) RetransmitDelay(origin string, rtt time.Duration) time.Duration {
+	if m.frng == nil {
+		return 0
+	}
+	r := m.ratesFor(origin)
+	if r.Loss <= 0 {
+		return 0
+	}
+	if m.frng.Float64() >= r.Loss {
+		return 0
+	}
+	rto := 2 * rtt
+	if rto < time.Second {
+		rto = time.Second
+	}
+	return rto
+}

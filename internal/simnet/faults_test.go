@@ -1,0 +1,85 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultRatesRespected(t *testing.T) {
+	m := New(Config{Seed: 9, Faults: FaultConfig{
+		Rates: FaultRates{Timeout: 0.2, Truncate: 0.1},
+	}})
+	counts := map[Fault]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[m.DrawFault("https://example.com")]++
+	}
+	to := float64(counts[FaultTimeout]) / n
+	tr := float64(counts[FaultTruncated]) / n
+	if to < 0.17 || to > 0.23 {
+		t.Errorf("timeout rate = %.3f, want ~0.2", to)
+	}
+	if tr < 0.08 || tr > 0.12 {
+		t.Errorf("truncate rate = %.3f, want ~0.1", tr)
+	}
+}
+
+func TestPerOriginOverride(t *testing.T) {
+	m := New(Config{Seed: 9, Faults: FaultConfig{
+		Rates:     FaultRates{},
+		PerOrigin: map[string]FaultRates{"https://bad.example": {Timeout: 1}},
+	}})
+	for i := 0; i < 50; i++ {
+		if f := m.DrawFault("https://bad.example"); f != FaultTimeout {
+			t.Fatalf("override origin draw %d = %v, want timeout", i, f)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if f := m.DrawFault("https://good.example"); f != FaultNone {
+			t.Fatalf("base-rate origin draw %d = %v, want none", i, f)
+		}
+	}
+}
+
+// TestZeroRatesLeaveTimingsUntouched locks the byte-identical guarantee:
+// a model with the zero FaultConfig must produce the same timing stream
+// as one that never heard of faults, and DrawFault must not consume
+// entropy.
+func TestZeroRatesLeaveTimingsUntouched(t *testing.T) {
+	a := New(Config{Seed: 4})
+	b := New(Config{Seed: 4, Faults: FaultConfig{Timeout: time.Minute}})
+	for i := 0; i < 200; i++ {
+		if b.DrawFault("https://x.example") != FaultNone {
+			t.Fatal("zero-rate model injected a fault")
+		}
+		if b.RetransmitDelay("https://x.example", 50*time.Millisecond) != 0 {
+			t.Fatal("zero-rate model injected loss delay")
+		}
+		if a.RTT(LocEurope) != b.RTT(LocEurope) {
+			t.Fatalf("RTT stream diverged at draw %d", i)
+		}
+		if a.ReceiveTime(100_000, 40*time.Millisecond) != b.ReceiveTime(100_000, 40*time.Millisecond) {
+			t.Fatalf("receive stream diverged at draw %d", i)
+		}
+	}
+}
+
+func TestFaultDefaultsAndHelpers(t *testing.T) {
+	m := New(Config{Seed: 1, Faults: FaultConfig{Rates: FaultRates{Truncate: 1}}})
+	if got := m.FaultTimeout(); got != 30*time.Second {
+		t.Errorf("default fault timeout = %v, want 30s", got)
+	}
+	for i := 0; i < 100; i++ {
+		f := m.TruncateFrac()
+		if f < 0.1 || f >= 0.9 {
+			t.Fatalf("truncate fraction %f out of [0.1, 0.9)", f)
+		}
+	}
+	lossy := New(Config{Seed: 1, Faults: FaultConfig{Rates: FaultRates{Loss: 1}}})
+	if d := lossy.RetransmitDelay("https://x", 30*time.Millisecond); d != time.Second {
+		t.Errorf("RTO floor = %v, want 1s", d)
+	}
+	if d := lossy.RetransmitDelay("https://x", 700*time.Millisecond); d != 1400*time.Millisecond {
+		t.Errorf("RTO = %v, want 2·RTT", d)
+	}
+}

@@ -74,6 +74,10 @@ type Config struct {
 	InitCwnd int
 	// JitterFrac is the relative standard deviation applied to RTTs.
 	JitterFrac float64
+	// Faults configures failure injection (see faults.go). The zero value
+	// injects nothing and leaves timings byte-identical to a fault-free
+	// model.
+	Faults FaultConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +93,7 @@ func (c Config) withDefaults() Config {
 	if c.JitterFrac <= 0 {
 		c.JitterFrac = 0.10
 	}
+	c.Faults = c.Faults.withDefaults()
 	return c
 }
 
@@ -97,12 +102,19 @@ func (c Config) withDefaults() Config {
 type Model struct {
 	cfg Config
 	rng *rand.Rand
+	// frng feeds fault draws only; it is nil when fault injection is off
+	// so the timing stream above never shifts.
+	frng *rand.Rand
 }
 
 // New creates a Model.
 func New(cfg Config) *Model {
 	cfg = cfg.withDefaults()
-	return &Model{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x51a7))}
+	m := &Model{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x51a7))}
+	if cfg.Faults.Enabled() {
+		m.frng = rand.New(rand.NewSource(cfg.Seed ^ 0xfa17))
+	}
+	return m
 }
 
 // RTT returns a jittered round-trip time to loc from the vantage point.
