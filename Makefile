@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench clean
+.PHONY: build test test-race bench bench-smoke ci fmt-check clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,23 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# One iteration per benchmark, with the heavyweight experiment corpus
+# skipped (-short): a fast liveness check that every benchmark still
+# runs. CI parses the output into BENCH_ci.json via cmd/benchjson.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -short -run=^$$ .
+
+# Fail (with the offending files listed) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The full local gate, mirroring CI: formatting, vet, tier-1, tier-2.
+ci: fmt-check
+	$(GO) vet ./...
+	$(MAKE) test
+	$(MAKE) test-race
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,7 @@ package repro
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/browser"
 	"repro/internal/cdn"
@@ -80,6 +81,7 @@ func BenchmarkFig2c(b *testing.B)      { benchExperiment(b, "fig2c") }
 func BenchmarkFig3a(b *testing.B)      { benchExperiment(b, "fig3a") }
 func BenchmarkFig3bc(b *testing.B)     { benchExperiment(b, "fig3bc") }
 func BenchmarkFig4a(b *testing.B)      { benchExperiment(b, "fig4a") }
+func BenchmarkWarmCache(b *testing.B)  { benchExperiment(b, "warm") }
 func BenchmarkFig4b(b *testing.B)      { benchExperiment(b, "fig4b") }
 func BenchmarkFig4c(b *testing.B)      { benchExperiment(b, "fig4c") }
 func BenchmarkFig5(b *testing.B)       { benchExperiment(b, "fig5") }
@@ -157,6 +159,46 @@ func BenchmarkPageLoad(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := br.Load(models[i%len(models)], i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmLoad measures one warm (repeat-view) page load against a
+// cache primed by a cold load: fresh objects answered from memory,
+// stale ones revalidated with header-only 304 exchanges.
+func BenchmarkWarmLoad(b *testing.B) {
+	web := benchWeb(b, 16)
+	resolver := dnssim.NewResolver(dnssim.ResolverConfig{
+		Name: "isp", Seed: 7, WarmQueryRate: 0.8,
+	}, web.Authority(), nil)
+	warm := cdn.PopularityWarmth(2.2, 0.97)
+	br, err := browser.New(browser.Config{
+		Seed:     7,
+		Resolver: resolver,
+		CDNFactory: func() *cdn.Network {
+			return cdn.NewNetwork(1<<14, warm, 7)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := make([]*webgen.PageModel, len(web.Sites))
+	caches := make([]*browser.Cache, len(web.Sites))
+	for i, s := range web.Sites {
+		models[i] = s.Landing().Build()
+		caches[i] = browser.NewCache()
+		br.SetCache(caches[i])
+		if _, err := br.Load(models[i], i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(models)
+		br.SetCache(caches[j])
+		if _, err := br.LoadRevisit(models[j], j, 0, 30*time.Minute); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document keyed by benchmark name, for machine-readable CI artifacts:
+//
+//	go test -bench=. -benchtime=1x -run='^$' . | tee bench.txt
+//	benchjson -o BENCH_ci.json bench.txt
+//
+// Input comes from the file argument or stdin. Lines that are not
+// benchmark results (pass/fail banners, goos/goarch headers) are
+// ignored, so the raw `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Result is one benchmark line's parsed metrics. Iterations and ns/op
+// are always present; B/op and allocs/op only when the benchmark
+// reports allocations.
+type Result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+}
+
+// benchLine matches the standard testing package result format:
+//
+//	BenchmarkName-8  	  124	   9612340 ns/op	  513678 B/op	    1290 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		fatal(err)
+		defer f.Close()
+		in = f
+	}
+
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			r.MBPerSec = &v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseInt(m[5], 10, 64)
+			r.BytesPerOp = &v
+		}
+		if m[6] != "" {
+			v, _ := strconv.ParseInt(m[6], 10, 64)
+			r.AllocsPerOp = &v
+		}
+		results[m[1]] = r
+	}
+	fatal(sc.Err())
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	fatal(err)
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+	} else {
+		err = os.WriteFile(*out, enc, 0o644)
+	}
+	fatal(err)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -31,6 +31,7 @@ func main() {
 		uniSize = flag.Int("universe", 130000, "stability universe size")
 		h2k     = flag.Int("h2ksites", 2000, "H2K list size (stability/cost)")
 		crawlN  = flag.Int("crawl", 5000, "exhaustive-crawl pages per site")
+		revisit = flag.Duration("revisit", 30*time.Minute, "cold→warm revisit delay (warm experiment)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		plot    = flag.Bool("plot", false, "render each report's series as ASCII charts")
 	)
@@ -52,6 +53,7 @@ func main() {
 		StabilityUniverse: *uniSize,
 		H2KSites:          *h2k,
 		CrawlPages:        *crawlN,
+		RevisitDelay:      *revisit,
 	})
 
 	var selected []experiments.Experiment

@@ -41,6 +41,8 @@ func main() {
 		fetches = flag.Int("fetches", 10, "fetches per landing page")
 		workers = flag.Int("workers", 0, "parallel site workers (0 = GOMAXPROCS)")
 		harDir  = flag.String("har", "", "write HAR JSON files into this directory instead of CSV")
+		warm    = flag.Bool("warm", false, "run the cold→warm revisit study (pairs CSV) instead of the cold study")
+		revisit = flag.Duration("revisit", 30*time.Minute, "cold→warm revisit delay (with -warm)")
 
 		faultTimeout  = flag.Float64("fault-timeout", 0, "per-request timeout probability")
 		faultTruncate = flag.Float64("fault-truncate", 0, "per-request truncation probability")
@@ -82,6 +84,19 @@ func main() {
 		FailureBudget: *budget,
 	})
 	fatal(err)
+	if *warm {
+		res, runErr := st.RunWarm(list, core.WarmConfig{RevisitDelay: *revisit})
+		if res != nil {
+			if *stats || res.FailedSites() > 0 {
+				fmt.Fprintf(os.Stderr, "webmeasure: %d/%d sites measured, %d failed\n",
+					len(res.Sites), len(res.Outcomes), res.FailedSites())
+				res.Stats.Render(os.Stderr)
+			}
+			fatal(core.WriteWarmCSV(os.Stdout, res))
+		}
+		fatal(runErr)
+		return
+	}
 	res, runErr := st.Run(list)
 	if res != nil {
 		if *stats || res.FailedSites() > 0 {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/cdn"
@@ -49,6 +50,12 @@ type Config struct {
 	// Push discussion). The zero value is the paper-era baseline:
 	// HTTP/1.1 over TCP with the site's negotiated TLS version.
 	Protocol Protocol
+	// Cache, when non-nil, is the browser's private HTTP cache. It
+	// persists across Load calls: cold loads warm it, and LoadRevisit
+	// serves fresh copies from it or revalidates stale ones with
+	// conditional requests. nil (the default) keeps the historical
+	// always-cold behavior, byte for byte.
+	Cache *Cache
 }
 
 // Protocol toggles the §5.6 optimizations under study.
@@ -103,6 +110,14 @@ func New(cfg Config) (*Browser, error) {
 	return &Browser{cfg: cfg}, nil
 }
 
+// SetCache installs (or, with nil, removes) the private HTTP cache used
+// by subsequent loads. The study's warm runner gives each cold/warm
+// load pair a fresh cache.
+func (b *Browser) SetCache(c *Cache) { b.cfg.Cache = c }
+
+// Cache returns the installed cache (nil = always-cold loads).
+func (b *Browser) Cache() *Cache { return b.cfg.Cache }
+
 // conn is one transport connection in a per-origin pool.
 type conn struct {
 	freeAt time.Duration // offset from navigationStart
@@ -142,7 +157,7 @@ func (h *taskHeap) Pop() interface{} {
 // differentiates repeated fetches of the same page (the paper loads each
 // landing page ten times and uses medians); it seeds the per-load jitter.
 func (b *Browser) Load(m *webgen.PageModel, fetchID int) (*har.Log, error) {
-	return b.LoadAttempt(m, fetchID, 0)
+	return b.loadAttempt(m, fetchID, 0, 0)
 }
 
 // LoadAttempt is Load with an explicit retry attempt number. Attempt 0 is
@@ -156,12 +171,29 @@ func (b *Browser) Load(m *webgen.PageModel, fetchID int) (*har.Log, error) {
 // entry records the phase reached), for forensics. Its page timings are
 // zero and it must not be measured as a successful load.
 func (b *Browser) LoadAttempt(m *webgen.PageModel, fetchID, attempt int) (*har.Log, error) {
+	return b.loadAttempt(m, fetchID, attempt, 0)
+}
+
+// LoadRevisit is LoadAttempt for a warm (repeat-view) load: navigation
+// starts revisit after the fetchID's base slot, so responses stored by
+// the matching cold load have aged exactly revisit (minus their
+// in-load completion offsets) when the cache checks freshness. With
+// revisit 0 — or with no cache installed — it is byte-identical to
+// LoadAttempt.
+func (b *Browser) LoadRevisit(m *webgen.PageModel, fetchID, attempt int, revisit time.Duration) (*har.Log, error) {
+	return b.loadAttempt(m, fetchID, attempt, revisit)
+}
+
+func (b *Browser) loadAttempt(m *webgen.PageModel, fetchID, attempt int, revisit time.Duration) (*har.Log, error) {
 	if len(m.Objects) == 0 {
 		return nil, fmt.Errorf("browser: page model %s has no objects", m.URL)
 	}
 	site := m.Page.Site
 	net := simnet.New(simnet.Config{
-		Seed:          b.cfg.Seed ^ int64(fetchID)*0x9e37 ^ int64(len(m.URL)) ^ int64(attempt)*0x1000193,
+		// revisit folds in so warm loads see different network weather
+		// than their cold counterpart; revisit 0 reproduces the
+		// historical stream exactly.
+		Seed:          b.cfg.Seed ^ int64(fetchID)*0x9e37 ^ int64(len(m.URL)) ^ int64(attempt)*0x1000193 ^ int64(revisit/time.Second)*0x85ebca6b,
 		ConnBandwidth: b.cfg.Net.ConnBandwidth,
 		MSS:           b.cfg.Net.MSS,
 		InitCwnd:      b.cfg.Net.InitCwnd,
@@ -170,7 +202,7 @@ func (b *Browser) LoadAttempt(m *webgen.PageModel, fetchID, attempt int) (*har.L
 	})
 	edges := b.cfg.CDNFactory()
 
-	navStart := time.Date(2020, 3, 12, 9, 0, 0, 0, time.UTC).Add(time.Duration(fetchID) * time.Hour)
+	navStart := time.Date(2020, 3, 12, 9, 0, 0, 0, time.UTC).Add(time.Duration(fetchID)*time.Hour + revisit)
 	log := &har.Log{Page: har.Page{
 		ID:              fmt.Sprintf("%s#%d", m.URL, fetchID),
 		URL:             m.URL,
@@ -196,6 +228,7 @@ func (b *Browser) LoadAttempt(m *webgen.PageModel, fetchID, attempt int) (*har.L
 		tls13:     site.Profile.TLS13 || b.cfg.Protocol.ForceTLS13,
 		origLoc:   site.Origin,
 		navStart:  navStart,
+		cache:     b.cfg.Cache,
 	}
 	// Pre-compute a representative RTT per origin so hints (preconnect)
 	// pay the true handshake cost of the origin they warm.
@@ -321,6 +354,7 @@ type loadState struct {
 	origLoc   simnet.Loc
 	navStart  time.Time
 	nConns    int
+	cache     *Cache // nil = cold load
 }
 
 // rttFor returns the connection RTT for an object's serving host.
@@ -469,6 +503,20 @@ func indexByte(s string, c byte) int {
 // its HAR entry is still recorded, carrying the phase reached.
 func (s *loadState) fetch(idx int, readyAt time.Duration) (time.Duration, bool) {
 	o := s.m.Objects[idx]
+
+	// Warm path: a fresh cached copy is served with no network activity
+	// at all; a stale one downgrades this fetch to a conditional
+	// request that revalidates it.
+	var reval *cacheEntry
+	if s.cache != nil {
+		switch ent, st := s.cache.lookup(o.URL, s.navStart.Add(readyAt)); st {
+		case cacheFresh:
+			return s.serveFromCache(idx, readyAt, ent), true
+		case cacheStale:
+			reval = ent
+		}
+	}
+
 	origin := o.Scheme + "://" + o.Host
 	s.origins[origin] = true
 	rtt := s.rttFor(o)
@@ -592,7 +640,68 @@ func (s *loadState) fetch(idx int, readyAt time.Duration) (time.Duration, bool) 
 		return doneAt, false
 	}
 
-	think, backhaul, xcache, server := s.serverSide(o)
+	// Conditional revalidation of a stale cached copy: If-None-Match /
+	// If-Modified-Since over a normal connection. Generated objects are
+	// immutable within a study, so a revalidation that completes always
+	// answers 304: validator-check time at the server, then header-only
+	// transfer, and the stored copy is served and freshened (RFC 7234
+	// §4.3.4). An injected truncation kills the exchange like any other
+	// transfer fault — and the cache keeps the stale entry untouched,
+	// ready for the next attempt.
+	if reval != nil {
+		timings.Wait = s.net.WaitTime(rtt, s.net.StaticThink(), 0)
+		if extra := s.net.RetransmitDelay(origin, rtt); extra > 0 {
+			timings.Wait += extra
+		}
+		timings.Receive = s.net.ReceiveTime(revalHeaderBytes, rtt)
+		if fault == simnet.FaultTruncated {
+			timings.Receive = time.Duration(float64(timings.Receive) * s.net.TruncateFrac())
+			doneAt := start + timings.Send + timings.Wait + timings.Receive
+			s.starts[idx] = start
+			s.closeConn(origin, chosen)
+			s.abort(idx, readyAt, doneAt, timings, "receive", 0, 0)
+			return doneAt, false
+		}
+		doneAt := start + timings.Send + timings.Wait + timings.Receive
+		if !h2 {
+			chosen.freeAt = doneAt
+		}
+		s.done[idx] = doneAt
+		s.starts[idx] = start
+		s.attempted[idx] = true
+		s.cache.freshen(o.URL, s.navStart.Add(doneAt))
+
+		var reqHeaders []har.Header
+		if reval.fresh.ETag != "" {
+			reqHeaders = append(reqHeaders, har.Header{Name: "If-None-Match", Value: reval.fresh.ETag})
+		}
+		if reval.fresh.LastModified != "" {
+			reqHeaders = append(reqHeaders, har.Header{Name: "If-Modified-Since", Value: reval.fresh.LastModified})
+		}
+		initiator := ""
+		if o.Parent >= 0 {
+			initiator = s.m.Objects[o.Parent].URL
+		}
+		s.entries[idx] = har.Entry{
+			StartedAt: s.navStart.Add(readyAt),
+			Time:      doneAt - readyAt,
+			Request:   har.Request{Method: "GET", URL: o.URL, Headers: reqHeaders},
+			Response: har.Response{
+				Status:       reval.status,
+				Headers:      reval.headers,
+				MIMEType:     reval.mime,
+				BodySize:     reval.size,
+				TransferSize: revalHeaderBytes,
+			},
+			Timings:     timings,
+			Initiator:   initiator,
+			Depth:       o.Depth,
+			Revalidated: true,
+		}
+		return doneAt, true
+	}
+
+	think, backhaul, xcache, server, edgeHit := s.serverSide(o)
 	timings.Wait = s.net.WaitTime(rtt, think, backhaul)
 	if extra := s.net.RetransmitDelay(origin, rtt); extra > 0 {
 		// Packet loss: one retransmission timeout folded into the wait.
@@ -628,20 +737,33 @@ func (s *loadState) fetch(idx int, readyAt time.Duration) (time.Duration, bool) 
 	headers := []har.Header{
 		{Name: "Content-Type", Value: o.MIME},
 		{Name: "Server", Value: server},
+		{Name: "Date", Value: s.navStart.Add(start + timings.Send + timings.Wait).UTC().Format(httpTimeFormat)},
 	}
 	if o.Role == webgen.RoleRedirect && idx+1 < len(s.m.Objects) {
 		status = 301
 		headers = append(headers, har.Header{Name: "Location", Value: s.m.Objects[idx+1].URL})
 	}
+	if cc := o.CacheControl(idx); cc != "" {
+		headers = append(headers, har.Header{Name: "Cache-Control", Value: cc})
+	}
 	if o.Cacheable {
-		headers = append(headers, har.Header{Name: "Cache-Control", Value: "public, max-age=86400"})
-	} else {
-		vals := [...]string{"no-store", "no-cache", "private, max-age=0"}
-		headers = append(headers, har.Header{Name: "Cache-Control", Value: vals[idx%3]})
+		// Validators ride on cacheable responses only: dynamic answers
+		// never match, so a revisit refetches them in full.
+		if o.ETag != "" {
+			headers = append(headers, har.Header{Name: "ETag", Value: o.ETag})
+		}
+		if o.LastModified != "" {
+			headers = append(headers, har.Header{Name: "Last-Modified", Value: o.LastModified})
+		}
 	}
 	if xcache != "" {
 		headers = append(headers, har.Header{Name: "X-Cache", Value: xcache})
 		headers = append(headers, har.Header{Name: "Via", Value: "1.1 " + o.ViaCDN})
+		if edgeHit && o.EdgeAgeSecs > 0 {
+			// The edge copy has already aged; downstream caches must
+			// count that against its freshness lifetime.
+			headers = append(headers, har.Header{Name: "Age", Value: strconv.Itoa(o.EdgeAgeSecs)})
+		}
 	}
 
 	initiator := ""
@@ -653,16 +775,70 @@ func (s *loadState) fetch(idx int, readyAt time.Duration) (time.Duration, bool) 
 		Time:      doneAt - readyAt,
 		Request:   har.Request{Method: "GET", URL: o.URL},
 		Response: har.Response{
-			Status:   status,
-			Headers:  headers,
-			MIMEType: o.MIME,
-			BodySize: o.Size,
+			Status:       status,
+			Headers:      headers,
+			MIMEType:     o.MIME,
+			BodySize:     o.Size,
+			TransferSize: o.Size,
 		},
 		Timings:   timings,
 		Initiator: initiator,
 		Depth:     o.Depth,
 	}
+	if s.cache != nil {
+		s.cache.store(o.URL, "GET", &s.entries[idx].Response, s.navStart.Add(doneAt))
+	}
 	return doneAt, true
+}
+
+// httpTimeFormat is http.TimeFormat, inlined to keep net/http out of
+// the load engine.
+const httpTimeFormat = "Mon, 02 Jan 2006 15:04:05 GMT"
+
+// revalHeaderBytes approximates the on-wire size of a 304 exchange:
+// status line plus the handful of refreshed headers.
+const revalHeaderBytes = 512
+
+// cacheReadTime models serving a cached body from local storage: a
+// fixed lookup cost plus ~2 GB/s of read/deserialization. Deterministic
+// — no RNG draw — so warm cache hits perturb no seeded sequence.
+func cacheReadTime(size int64) time.Duration {
+	return 200*time.Microsecond + time.Duration(size/2)*time.Nanosecond
+}
+
+// serveFromCache records a cache hit: the stored response replays with
+// no DNS, no connection, no fault draw — only the local read cost.
+func (s *loadState) serveFromCache(idx int, readyAt time.Duration, ent *cacheEntry) time.Duration {
+	o := s.m.Objects[idx]
+	read := cacheReadTime(ent.size)
+	doneAt := readyAt + read
+	s.done[idx] = doneAt
+	s.starts[idx] = readyAt
+	s.attempted[idx] = true
+	s.cache.hits++
+	initiator := ""
+	if o.Parent >= 0 {
+		initiator = s.m.Objects[o.Parent].URL
+	}
+	s.entries[idx] = har.Entry{
+		StartedAt: s.navStart.Add(readyAt),
+		Time:      read,
+		Request:   har.Request{Method: "GET", URL: o.URL},
+		Response: har.Response{
+			Status:   ent.status,
+			Headers:  ent.headers,
+			MIMEType: ent.mime,
+			BodySize: ent.size,
+		},
+		Timings: har.Timings{
+			DNS: har.NotApplicable, Connect: har.NotApplicable, SSL: har.NotApplicable,
+			Receive: read,
+		},
+		Initiator: initiator,
+		Depth:     o.Depth,
+		FromCache: "memory",
+	}
+	return doneAt
 }
 
 // abort records the HAR entry for a fetch that died, tagging the phase it
@@ -689,10 +865,11 @@ func (s *loadState) abort(idx int, readyAt, doneAt time.Duration, timings har.Ti
 		Time:      doneAt - readyAt,
 		Request:   har.Request{Method: "GET", URL: o.URL},
 		Response: har.Response{
-			Status:   status,
-			Headers:  headers,
-			MIMEType: mime,
-			BodySize: partial,
+			Status:       status,
+			Headers:      headers,
+			MIMEType:     mime,
+			BodySize:     partial,
+			TransferSize: partial,
 		},
 		Timings:   timings,
 		Initiator: initiator,
@@ -763,8 +940,9 @@ func maxDur(a, b time.Duration) time.Duration {
 }
 
 // serverSide computes the server's contribution: processing time, any
-// backhaul on a CDN miss, plus identification headers.
-func (s *loadState) serverSide(o *webgen.Object) (think, backhaul time.Duration, xcache, server string) {
+// backhaul on a CDN miss, identification headers, and whether a CDN
+// edge answered from its cache (edgeHit drives the Age header).
+func (s *loadState) serverSide(o *webgen.Object) (think, backhaul time.Duration, xcache, server string, edgeHit bool) {
 	if o.ViaCDN != "" {
 		edge, err := s.edges.Edge(o.ViaCDN)
 		if err == nil {
@@ -782,7 +960,7 @@ func (s *loadState) serverSide(o *webgen.Object) (think, backhaul time.Duration,
 			}
 			xcache = edge.XCacheHeader(res)
 			server = edge.Provider.ServerHeader
-			return think, backhaul, xcache, server
+			return think, backhaul, xcache, server, res.Hit
 		}
 	}
 	server = "nginx"
@@ -805,7 +983,7 @@ func (s *loadState) serverSide(o *webgen.Object) (think, backhaul time.Duration,
 		// memory.
 		think = time.Duration(float64(s.net.StaticThink()) * popFactor(o.Popularity))
 	}
-	return think, 0, "", server
+	return think, 0, "", server, false
 }
 
 // pageTimings derives Navigation Timing marks and the Speed Index.

@@ -1,0 +1,212 @@
+package browser
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// TestWarmLoadServesFromCache primes a cache with a cold load, revisits
+// shortly after, and checks the warm load mixes memory hits (fresh
+// copies, no network) with 304 revalidations (stale copies, header-only
+// transfer) while never refetching a cached body in full.
+func TestWarmLoadServesFromCache(t *testing.T) {
+	b, web := testBrowser(t, 2.2)
+	m := web.Sites[0].Landing().Build()
+	cache := NewCache()
+	b.SetCache(cache)
+	defer b.SetCache(nil)
+
+	cold, err := b.Load(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cold load stored nothing; generator should emit cacheable objects")
+	}
+	for _, e := range cold.Entries {
+		if e.FromCache != "" || e.Revalidated {
+			t.Fatal("cold load must not be served from an empty cache")
+		}
+	}
+
+	warm, err := b.LoadRevisit(m, 0, 0, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Entries) != len(m.Objects) {
+		t.Fatalf("warm entries = %d, want %d", len(warm.Entries), len(m.Objects))
+	}
+	hits, revals := 0, 0
+	for i, e := range warm.Entries {
+		switch {
+		case e.FromCache != "":
+			hits++
+			if e.FromCache != "memory" {
+				t.Errorf("entry %d FromCache = %q", i, e.FromCache)
+			}
+			if e.Timings.DNS >= 0 || e.Timings.Connect >= 0 {
+				t.Errorf("entry %d cache hit paid for network setup: %+v", i, e.Timings)
+			}
+			if e.Transferred() != 0 {
+				t.Errorf("entry %d cache hit transferred %d bytes", i, e.Transferred())
+			}
+		case e.Revalidated:
+			revals++
+			if e.Response.Status != 200 {
+				t.Errorf("entry %d revalidated status = %d", i, e.Response.Status)
+			}
+			if e.Response.TransferSize != revalHeaderBytes {
+				t.Errorf("entry %d 304 transfer = %d, want %d", i, e.Response.TransferSize, revalHeaderBytes)
+			}
+			cond := e.Request.HeaderValue("If-None-Match") != "" ||
+				e.Request.HeaderValue("If-Modified-Since") != ""
+			if !cond {
+				t.Errorf("entry %d revalidated without a conditional header", i)
+			}
+		}
+		if e.Response.BodySize != m.Objects[i].Size {
+			t.Errorf("entry %d body = %d, want %d (warm loads must replay full bodies)",
+				i, e.Response.BodySize, m.Objects[i].Size)
+		}
+	}
+	if hits == 0 {
+		t.Error("no fresh cache hits on a 30m revisit")
+	}
+	if revals == 0 {
+		t.Error("no revalidations on a 30m revisit")
+	}
+	if hits != cache.Hits() || revals != cache.Revalidations() {
+		t.Errorf("log says %d hits / %d revals, cache counted %d / %d",
+			hits, revals, cache.Hits(), cache.Revalidations())
+	}
+	if warm.TransferBytes() >= cold.TransferBytes() {
+		t.Errorf("warm transfer %d not below cold %d", warm.TransferBytes(), cold.TransferBytes())
+	}
+	if warm.NetworkRequests() >= cold.NetworkRequests() {
+		t.Errorf("warm requests %d not below cold %d", warm.NetworkRequests(), cold.NetworkRequests())
+	}
+	if warm.Page.Timings.OnLoad >= cold.Page.Timings.OnLoad {
+		t.Errorf("warm onLoad %v not below cold %v", warm.Page.Timings.OnLoad, cold.Page.Timings.OnLoad)
+	}
+}
+
+// TestLoadRevisitZeroMatchesLoad pins the PR's compatibility invariant:
+// with no cache installed, LoadRevisit(m, id, 0, 0) is byte-identical
+// to the historical Load(m, id).
+func TestLoadRevisitZeroMatchesLoad(t *testing.T) {
+	b1, web := testBrowser(t, 2.2)
+	b2, _ := testBrowser(t, 2.2)
+	m := web.Sites[2].Landing().Build()
+	l1, err := b1.Load(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := b2.LoadRevisit(m, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatal("LoadRevisit with zero delay and nil cache diverged from Load")
+	}
+}
+
+// TestColdLoadUnchangedByIdleCache checks that merely installing a cache
+// does not perturb a cold load's timings: stores happen after the
+// response is recorded and draw no RNG.
+func TestColdLoadUnchangedByIdleCache(t *testing.T) {
+	b1, web := testBrowser(t, 2.2)
+	b2, _ := testBrowser(t, 2.2)
+	m := web.Sites[1].Landing().Build()
+	l1, err := b1.Load(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.SetCache(NewCache())
+	l2, err := b2.Load(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Page.Timings != l2.Page.Timings {
+		t.Fatalf("page timings diverged: %+v vs %+v", l1.Page.Timings, l2.Page.Timings)
+	}
+	for i := range l1.Entries {
+		if l1.Entries[i].Timings != l2.Entries[i].Timings {
+			t.Fatalf("entry %d timings diverged", i)
+		}
+	}
+}
+
+// TestFaultedRevalidationDoesNotPoisonCache kills every revalidation
+// exchange with injected truncation and checks the cache keeps its
+// stale entries intact: a later clean revisit revalidates them
+// successfully instead of refetching.
+func TestFaultedRevalidationDoesNotPoisonCache(t *testing.T) {
+	clean, web := testBrowser(t, 2.2)
+	m := web.Sites[0].Landing().Build()
+	cache := NewCache()
+	clean.SetCache(cache)
+	if _, err := clean.Load(m, 0); err != nil {
+		t.Fatal(err)
+	}
+	stored := cache.Len()
+	if stored == 0 {
+		t.Fatal("cold load stored nothing")
+	}
+
+	// Truncate every transfer on non-root origins: the root document
+	// (non-cacheable, same origin) still loads, so the page completes,
+	// but every attempted revalidation dies mid-exchange.
+	perOrigin := make(map[string]simnet.FaultRates)
+	rootOrigin := m.Objects[0].Scheme + "://" + m.Objects[0].Host
+	for _, o := range m.Objects {
+		if org := o.Scheme + "://" + o.Host; org != rootOrigin {
+			perOrigin[org] = simnet.FaultRates{Truncate: 1}
+		}
+	}
+	faulty := faultyBrowser(t, web, simnet.FaultConfig{PerOrigin: perOrigin}, 0)
+	faulty.SetCache(cache)
+	// Revisit far past every max-age so all cached copies are stale.
+	log, err := faulty.LoadRevisit(m, 0, 0, 366*24*time.Hour)
+	if err != nil {
+		t.Fatalf("sub-resource revalidation faults must not fail the load: %v", err)
+	}
+	aborted := 0
+	for _, e := range log.Entries {
+		if e.Failed() {
+			aborted++
+			if e.Revalidated || e.FromCache != "" {
+				t.Errorf("aborted entry %s marked as cache-served", e.Request.URL)
+			}
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("expected aborted revalidations under Truncate=1")
+	}
+	if cache.Len() != stored {
+		t.Errorf("cache size changed %d -> %d across a faulted revisit", stored, cache.Len())
+	}
+	if cache.Revalidations() != 0 {
+		t.Errorf("failed exchanges counted as revalidations: %d", cache.Revalidations())
+	}
+
+	// The same cache must now serve a clean browser's revisit: stale
+	// entries survived and revalidate normally.
+	clean2, _ := testBrowser(t, 2.2)
+	clean2.SetCache(cache)
+	warm, err := clean2.LoadRevisit(m, 0, 0, 366*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revals := 0
+	for _, e := range warm.Entries {
+		if e.Revalidated {
+			revals++
+		}
+	}
+	if revals == 0 {
+		t.Fatal("stale entries did not revalidate after the faulted attempt")
+	}
+}

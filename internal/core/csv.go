@@ -63,6 +63,53 @@ func WriteMeasurementsCSV(w io.Writer, res *StudyResult) error {
 	return cw.Error()
 }
 
+// warmCSVHeader is the column layout of the cold→warm pair dataset.
+var warmCSVHeader = []string{
+	"domain", "rank", "category", "page_type", "url",
+	"cold_bytes", "cold_transfer_bytes", "warm_transfer_bytes", "byte_savings",
+	"cold_requests", "warm_network_requests", "request_savings",
+	"warm_cache_hits", "warm_revalidations",
+	"cold_onload_ms", "warm_onload_ms", "onload_speedup",
+}
+
+// WriteWarmCSV writes a cold→warm study's per-page pairs.
+func WriteWarmCSV(w io.Writer, res *WarmStudyResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(warmCSVHeader); err != nil {
+		return err
+	}
+	emit := func(s *WarmSiteResult, p *PagePair, kind string) error {
+		return cw.Write([]string{
+			s.Domain, strconv.Itoa(s.Rank), s.Category, kind, p.Cold.URL,
+			strconv.FormatInt(p.Cold.Bytes, 10),
+			strconv.FormatInt(p.Cold.TransferBytes, 10),
+			strconv.FormatInt(p.Warm.TransferBytes, 10),
+			strconv.FormatFloat(p.ByteSavings(), 'f', 4, 64),
+			strconv.Itoa(p.Cold.NetworkRequests),
+			strconv.Itoa(p.Warm.NetworkRequests),
+			strconv.FormatFloat(p.RequestSavings(), 'f', 4, 64),
+			strconv.Itoa(p.Warm.CacheHits),
+			strconv.Itoa(p.Warm.Revalidations),
+			strconv.FormatInt(p.Cold.OnLoad.Milliseconds(), 10),
+			strconv.FormatInt(p.Warm.OnLoad.Milliseconds(), 10),
+			strconv.FormatFloat(p.OnLoadSpeedup(), 'f', 4, 64),
+		})
+	}
+	for i := range res.Sites {
+		s := &res.Sites[i]
+		if err := emit(s, &s.Landing, "landing"); err != nil {
+			return err
+		}
+		for j := range s.Internal {
+			if err := emit(s, &s.Internal[j], "internal"); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // ReadMeasurementsCSV parses a dataset written by WriteMeasurementsCSV
 // back into site results (the per-object wait samples and content-mix
 // maps are not part of the public dataset and stay empty).

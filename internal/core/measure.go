@@ -50,6 +50,15 @@ type PageMeasurement struct {
 	NonCacheable   int
 	CacheableBytes int64
 
+	// Warm-load (repeat view) accounting. On a cold load TransferBytes
+	// equals Bytes and NetworkRequests equals Objects; on a warm load
+	// cache hits contribute no transfer and 304 revalidations only
+	// headers.
+	TransferBytes   int64
+	NetworkRequests int
+	CacheHits       int
+	Revalidations   int
+
 	// CDN delivery (§5.1).
 	CDNBytes  int64
 	CDNHits   int
@@ -200,22 +209,39 @@ func MeasurePage(log *har.Log, model *webgen.PageModel, az Analyzers) PageMeasur
 		// Content mix.
 		m.ContentBytes[mimecat.Of(e.Response.MIMEType)] += e.Response.BodySize
 
+		// Warm-load accounting.
+		m.TransferBytes += e.Transferred()
+		if e.FromCache != "" {
+			m.CacheHits++
+		} else {
+			m.NetworkRequests++
+			if e.Revalidated {
+				m.Revalidations++
+			}
+		}
+
 		// Cacheability per RFC 7234 semantics over the recorded headers.
-		cacheable := httpsem.Cacheable(httpsem.Response{
+		// Entries the browser cache answered — directly or after a 304 —
+		// are cacheable by demonstration, whatever their replayed
+		// headers say.
+		if e.FromCache != "" || e.Revalidated {
+			m.CacheableBytes += e.Response.BodySize
+		} else if httpsem.Cacheable(httpsem.Response{
 			Method:       e.Request.Method,
 			Status:       e.Response.Status,
 			CacheControl: e.Response.HeaderValue("Cache-Control"),
 			Pragma:       e.Response.HeaderValue("Pragma"),
 			Expires:      e.Response.HeaderValue("Expires"),
-		})
-		if cacheable {
+		}) {
 			m.CacheableBytes += e.Response.BodySize
 		} else {
 			m.NonCacheable++
 		}
 
-		// CDN attribution and cache status.
-		if az.CDN != nil {
+		// CDN attribution and cache status — network responses only:
+		// cache-served entries replay stored X-Cache headers that say
+		// nothing about this load.
+		if az.CDN != nil && e.FromCache == "" && !e.Revalidated {
 			if _, ok := az.CDN.Attribute(e); ok {
 				m.CDNBytes += e.Response.BodySize
 				switch cdndetect.CacheStatus(e) {

@@ -308,9 +308,16 @@ func (st *Study) newSiteCtx(i int) (*siteCtx, error) {
 // fault RNG seed), so transient failures clear the way they would in a
 // real re-crawl. It returns the attempts consumed alongside the result.
 func (st *Study) loadWithRetry(sc *siteCtx, m *webgen.PageModel, fetchID int) (*har.Log, int, error) {
+	return st.loadRevisitWithRetry(sc, m, fetchID, 0)
+}
+
+// loadRevisitWithRetry is loadWithRetry with a revisit offset: revisit 0
+// is the cold load, anything else a warm repeat view against whatever
+// cache the browser currently holds.
+func (st *Study) loadRevisitWithRetry(sc *siteCtx, m *webgen.PageModel, fetchID int, revisit time.Duration) (*har.Log, int, error) {
 	backoff := st.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		log, err := sc.b.LoadAttempt(m, fetchID, attempt)
+		log, err := sc.b.LoadRevisit(m, fetchID, attempt, revisit)
 		if err == nil {
 			sc.clock.Advance(log.Page.Timings.OnLoad)
 			st.stats.Inc("loads.ok", 1)

@@ -1,0 +1,261 @@
+package core
+
+// Warm (repeat-view) studies: the consequence of the §5.1 cacheability
+// asymmetry. Every page is loaded twice — cold with a fresh browser
+// cache, then again RevisitDelay later against the primed cache — and
+// the pair quantifies what a revisit saves per page type: bytes that
+// never cross the network, requests answered locally or by a 304, and
+// the resulting onLoad speedup. Internal pages, carrying a larger
+// cacheable-byte fraction (Fig 4a), save strictly more than landing
+// pages.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/hispar"
+	"repro/internal/runstats"
+	"repro/internal/webgen"
+)
+
+// WarmConfig parameterizes the cold→warm pair runner.
+type WarmConfig struct {
+	// RevisitDelay is the virtual time between the cold load and the
+	// warm revisit (default 30m): long enough that short-lived
+	// responses go stale and must revalidate, short enough that typical
+	// static assets are still fresh.
+	RevisitDelay time.Duration
+}
+
+func (c WarmConfig) withDefaults() WarmConfig {
+	if c.RevisitDelay <= 0 {
+		c.RevisitDelay = 30 * time.Minute
+	}
+	return c
+}
+
+// PagePair is one page's cold/warm measurement pair.
+type PagePair struct {
+	Cold PageMeasurement
+	Warm PageMeasurement
+}
+
+// ByteSavings is the fraction of cold-load transfer bytes the warm load
+// avoided (1 − warm/cold).
+func (p *PagePair) ByteSavings() float64 {
+	if p.Cold.TransferBytes == 0 {
+		return 0
+	}
+	return 1 - float64(p.Warm.TransferBytes)/float64(p.Cold.TransferBytes)
+}
+
+// RequestSavings is the fraction of cold-load network requests the warm
+// load avoided (cache hits; 304s still count as network requests).
+func (p *PagePair) RequestSavings() float64 {
+	if p.Cold.NetworkRequests == 0 {
+		return 0
+	}
+	return 1 - float64(p.Warm.NetworkRequests)/float64(p.Cold.NetworkRequests)
+}
+
+// OnLoadSpeedup is cold onLoad over warm onLoad (>1 = warm is faster).
+func (p *PagePair) OnLoadSpeedup() float64 {
+	if p.Warm.OnLoad <= 0 {
+		return 0
+	}
+	return float64(p.Cold.OnLoad) / float64(p.Warm.OnLoad)
+}
+
+// WarmSiteResult is one site's cold/warm pairs.
+type WarmSiteResult struct {
+	Domain   string
+	Rank     int
+	Category string
+	Landing  PagePair
+	Internal []PagePair
+}
+
+// InternalMedian applies f to every internal pair and returns the
+// median.
+func (s *WarmSiteResult) InternalMedian(f func(*PagePair) float64) float64 {
+	if len(s.Internal) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(s.Internal))
+	for i := range s.Internal {
+		vals[i] = f(&s.Internal[i])
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// WarmStudyResult is a full cold→warm study over a list.
+type WarmStudyResult struct {
+	List         *hispar.List
+	RevisitDelay time.Duration
+	Sites        []WarmSiteResult
+	Outcomes     []Outcome
+	Stats        runstats.Snapshot
+}
+
+// FailedSites returns how many input sites yielded no measurement.
+func (r *WarmStudyResult) FailedSites() int {
+	n := 0
+	for i := range r.Outcomes {
+		if !r.Outcomes[i].OK {
+			n++
+		}
+	}
+	return n
+}
+
+// loadPair performs one page's cold load into a fresh cache, advances
+// the site clock by the revisit delay, and performs the warm load
+// against the primed cache. Both loads retry per the study's fault
+// policy; a warm attempt that dies mid-load leaves the cache with
+// whatever the completed fetches stored or freshened — never a
+// corrupted entry — so the retry revalidates from intact state.
+func (st *Study) loadPair(sc *siteCtx, m *webgen.PageModel, fetchID int, delay time.Duration) (PagePair, int, error) {
+	cache := browser.NewCache()
+	sc.b.SetCache(cache)
+	defer sc.b.SetCache(nil)
+
+	coldLog, a1, err := st.loadRevisitWithRetry(sc, m, fetchID, 0)
+	if err != nil {
+		return PagePair{}, a1, err
+	}
+	sc.clock.Advance(delay)
+	warmLog, a2, err := st.loadRevisitWithRetry(sc, m, fetchID, delay)
+	if err != nil {
+		return PagePair{}, a1 + a2, err
+	}
+	st.stats.Inc("warm.pairs", 1)
+	st.stats.Inc("warm.cache.hits", int64(cache.Hits()))
+	st.stats.Inc("warm.cache.revalidations", int64(cache.Revalidations()))
+	return PagePair{
+		Cold: MeasurePage(coldLog, m, st.az),
+		Warm: MeasurePage(warmLog, m, st.az),
+	}, a1 + a2, nil
+}
+
+// measureSiteWarm measures one site's cold/warm pairs with the same
+// degradation policy as measureSiteResilient: the landing pair must
+// survive, internal pages that exhaust retries are dropped.
+func (st *Study) measureSiteWarm(i int, set hispar.URLSet, delay time.Duration) (res WarmSiteResult, out Outcome) {
+	out = Outcome{Domain: set.Domain, Rank: set.Rank}
+	fail := func(err error, class ErrorClass) (WarmSiteResult, Outcome) {
+		out.Class = class
+		out.Err = fmt.Errorf("core: site %s: %w", set.Domain, err)
+		return WarmSiteResult{}, out
+	}
+	sc, err := st.newSiteCtx(i)
+	if err != nil {
+		return fail(err, ClassConfig)
+	}
+	start := sc.clock.Now()
+	defer func() { out.Elapsed = sc.clock.Since(start) }()
+
+	site, ok := st.web.SiteByDomain(set.Domain)
+	if !ok {
+		return fail(fmt.Errorf("site not in web snapshot"), ClassConfig)
+	}
+	res = WarmSiteResult{Domain: set.Domain, Rank: set.Rank, Category: string(site.Category)}
+
+	// Landing page: one cold/warm pair (the repeat-view study needs the
+	// pair, not the cold study's fetch medianization).
+	model := site.Landing().Build()
+	pair, attempts, err := st.loadPair(sc, model, 0, delay)
+	out.Attempts += attempts
+	if attempts > 2 {
+		out.Retries += attempts - 2
+	}
+	if err != nil {
+		return fail(err, Classify(err))
+	}
+	res.Landing = pair
+
+	for _, u := range set.Internal {
+		page, ok := st.web.PageByURL(u)
+		if !ok {
+			return fail(fmt.Errorf("URL %s not in web snapshot", u), ClassConfig)
+		}
+		im := page.Build()
+		pair, attempts, err := st.loadPair(sc, im, 0, delay)
+		out.Attempts += attempts
+		if attempts > 2 {
+			out.Retries += attempts - 2
+		}
+		if err != nil {
+			out.FailedPages++
+			st.stats.Inc("pages.dropped", 1)
+			continue
+		}
+		res.Internal = append(res.Internal, pair)
+	}
+	st.stats.Inc("pages.measured", int64(1+len(res.Internal)))
+	out.OK = true
+	return res, out
+}
+
+// RunWarm measures every site's cold→warm pairs, in parallel, with the
+// same isolation and degradation guarantees as Run: per-site clocks,
+// resolvers, browsers, and caches, so results are identical at any
+// worker count; failed sites are recorded in Outcomes and the failure
+// budget decides whether an aggregate error rides along.
+func (st *Study) RunWarm(list *hispar.List, wcfg WarmConfig) (*WarmStudyResult, error) {
+	wcfg = wcfg.withDefaults()
+	n := len(list.Sets)
+	results := make([]WarmSiteResult, n)
+	outcomes := make([]Outcome, n)
+	if _, err := st.newBrowser(st.cfg.Seed); err != nil {
+		return nil, err
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < st.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], outcomes[i] = st.measureSiteWarm(i, list.Sets[i], wcfg.RevisitDelay)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	st.clock.AdvanceTo(st.epoch.Add(time.Duration(n) * st.cfg.SitePacing))
+
+	res := &WarmStudyResult{List: list, RevisitDelay: wcfg.RevisitDelay, Outcomes: outcomes}
+	var siteErrs []error
+	for i := range outcomes {
+		if outcomes[i].OK {
+			res.Sites = append(res.Sites, results[i])
+		} else {
+			siteErrs = append(siteErrs, outcomes[i].Err)
+		}
+	}
+	st.stats.Inc("sites.total", int64(n))
+	st.stats.Inc("sites.ok", int64(n-len(siteErrs)))
+	st.stats.Inc("sites.failed", int64(len(siteErrs)))
+	res.Stats = st.stats.Snapshot()
+
+	if st.cfg.FailureBudget >= 0 {
+		allowed := int(st.cfg.FailureBudget * float64(n))
+		if len(siteErrs) > allowed {
+			return res, fmt.Errorf("core: %d/%d sites failed, exceeding the failure budget of %d: %w",
+				len(siteErrs), n, allowed, errors.Join(siteErrs...))
+		}
+	}
+	return res, nil
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hispar"
@@ -35,6 +36,9 @@ type Config struct {
 	H2KSites    int
 	H2KPerSite  int
 	DNSProbeTop int // §5.3 probe set size (default 5000)
+	// RevisitDelay is the cold→warm gap of the repeat-view study
+	// (default 30m).
+	RevisitDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +72,9 @@ func (c Config) withDefaults() Config {
 	if c.DNSProbeTop <= 0 {
 		c.DNSProbeTop = 5000
 	}
+	if c.RevisitDelay <= 0 {
+		c.RevisitDelay = 30 * time.Minute
+	}
 	return c
 }
 
@@ -87,6 +94,8 @@ type Context struct {
 	buildStats hispar.BuildStats
 	study      *core.StudyResult
 	studyErr   error
+	warm       *core.WarmStudyResult
+	warmErr    error
 }
 
 // NewContext creates a context with the given scale.
@@ -227,6 +236,32 @@ func (c *Context) Study() (*core.StudyResult, error) {
 	}
 	c.study, c.studyErr = st.Run(list)
 	return c.study, c.studyErr
+}
+
+// WarmStudy returns the cold→warm repeat-view study, running it on
+// first use.
+func (c *Context) WarmStudy() (*core.WarmStudyResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.warm != nil || c.warmErr != nil {
+		return c.warm, c.warmErr
+	}
+	list, _, err := c.listLocked()
+	if err != nil {
+		c.warmErr = err
+		return nil, err
+	}
+	st, err := core.NewStudy(c.webLocked(), core.StudyConfig{
+		Seed:           c.Cfg.Seed,
+		LandingFetches: c.Cfg.LandingFetches,
+		Workers:        c.Cfg.Workers,
+	})
+	if err != nil {
+		c.warmErr = err
+		return nil, err
+	}
+	c.warm, c.warmErr = st.RunWarm(list, core.WarmConfig{RevisitDelay: c.Cfg.RevisitDelay})
+	return c.warm, c.warmErr
 }
 
 // TopSites returns the study results for the k highest-ranked sites

@@ -123,6 +123,27 @@ func TestFig4Directions(t *testing.T) {
 	between(t, c, "internal HTML/CSS higher by", 0.05, 0.5)
 }
 
+func TestWarmCacheSavings(t *testing.T) {
+	rep := run(t, "warm")
+	// The Fig 4a asymmetry must carry through to repeat views: internal
+	// pages save strictly more transfer bytes on the warm load.
+	l := rep.MustValue("median warm byte savings landing")
+	i := rep.MustValue("median warm byte savings internal")
+	if i <= l {
+		t.Errorf("internal warm byte savings %.3f not above landing %.3f", i, l)
+	}
+	between(t, rep, "internal minus landing byte savings", 0.02, 0.6)
+	between(t, rep, "frac sites internal saves more bytes", 0.55, 1.0)
+	between(t, rep, "median warm byte savings landing", 0.2, 0.95)
+	between(t, rep, "median warm byte savings internal", 0.3, 0.99)
+	// Warm loads must be faster on both page types.
+	between(t, rep, "median onLoad speedup landing", 1.0, 3.0)
+	between(t, rep, "median onLoad speedup internal", 1.0, 3.0)
+	// Request savings come from fresh hits (304s still hit the network).
+	between(t, rep, "median warm request savings landing", 0.1, 0.9)
+	between(t, rep, "median warm request savings internal", 0.1, 0.9)
+}
+
 func TestFig5AndHandshakes(t *testing.T) {
 	f5 := run(t, "fig5")
 	between(t, f5, "frac sites landing more domains", 0.55, 0.95)

@@ -123,6 +123,7 @@ func All() []Experiment {
 		{"fig3a", "Speed Index (Ht30)", RunFig3a},
 		{"fig3bc", "Limited exhaustive crawl of five sites", RunFig3bc},
 		{"fig4a", "Non-cacheable objects", RunFig4a},
+		{"warm", "Warm-cache revisit savings (§5.1 implication)", RunWarmCache},
 		{"fig4b", "CDN-delivered bytes and cache hits", RunFig4b},
 		{"fig4c", "Content mix by category", RunFig4c},
 		{"fig5", "Multi-origin content (unique domains)", RunFig5},

@@ -81,10 +81,34 @@ type Entry struct {
 	// stay in the log — the paper's harness recorded them too — with
 	// Status 0 except for truncations, which carry the partial body.
 	Aborted string `json:"_aborted,omitempty"`
+	// FromCache marks an entry served from the browser's local cache
+	// with no network activity at all (value "memory", matching the
+	// Chrome HAR extension of the same name). The Response replays the
+	// stored copy: BodySize is the cached body, TransferSize is 0.
+	FromCache string `json:"_fromCache,omitempty"`
+	// Revalidated marks an entry answered by a conditional request: the
+	// server returned 304 and the cached copy was served. The entry
+	// keeps the cached status/headers/BodySize; only headers crossed
+	// the network (see Response.TransferSize).
+	Revalidated bool `json:"_revalidated,omitempty"`
 }
 
 // Failed reports whether this entry records a fetch that did not complete.
 func (e *Entry) Failed() bool { return e.Aborted != "" }
+
+// Transferred returns the bytes this entry moved over the network: zero
+// for cache hits, the recorded TransferSize for revalidations and
+// entries that carry one, and BodySize as the legacy fallback for logs
+// written before transfer sizes were recorded.
+func (e *Entry) Transferred() int64 {
+	if e.FromCache != "" {
+		return 0
+	}
+	if e.Response.TransferSize > 0 || e.Revalidated {
+		return e.Response.TransferSize
+	}
+	return e.Response.BodySize
+}
 
 // Request is the HAR request record.
 type Request struct {
@@ -93,12 +117,27 @@ type Request struct {
 	Headers []Header `json:"headers,omitempty"`
 }
 
+// HeaderValue returns the first value of the named request header
+// (case-insensitive per HTTP), or "".
+func (r Request) HeaderValue(name string) string {
+	for _, h := range r.Headers {
+		if equalFold(h.Name, name) {
+			return h.Value
+		}
+	}
+	return ""
+}
+
 // Response is the HAR response record.
 type Response struct {
 	Status   int      `json:"status"`
 	Headers  []Header `json:"headers,omitempty"`
 	MIMEType string   `json:"content_mimeType"`
 	BodySize int64    `json:"bodySize"`
+	// TransferSize is what actually crossed the network for this
+	// response: 0 for pure cache hits, roughly header size for 304
+	// revalidations, the (possibly partial) body otherwise.
+	TransferSize int64 `json:"_transferSize,omitempty"`
 }
 
 // HeaderValue returns the first value of the named header
@@ -172,6 +211,29 @@ func (l *Log) TotalBytes() int64 {
 // ObjectCount returns the number of entries, the study's proxy for page
 // structure (§4).
 func (l *Log) ObjectCount() int { return len(l.Entries) }
+
+// TransferBytes returns the bytes that crossed the network for this
+// load. Equal to TotalBytes on a cold load; smaller on a warm load,
+// where cache hits and 304 revalidations avoid body transfers.
+func (l *Log) TransferBytes() int64 {
+	var n int64
+	for i := range l.Entries {
+		n += l.Entries[i].Transferred()
+	}
+	return n
+}
+
+// NetworkRequests counts entries that touched the network (everything
+// except pure cache hits).
+func (l *Log) NetworkRequests() int {
+	n := 0
+	for i := range l.Entries {
+		if l.Entries[i].FromCache == "" {
+			n++
+		}
+	}
+	return n
+}
 
 // DepthCounts returns how many objects sit at each dependency depth,
 // indexed by depth (capped at maxDepth; deeper objects count in the last

@@ -1,0 +1,145 @@
+package httpsem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestComputeFreshness(t *testing.T) {
+	date := "Thu, 12 Mar 2020 09:00:00 GMT"
+	cases := []struct {
+		name     string
+		r        Response
+		storable bool
+		always   bool
+		lifetime time.Duration
+		heur     bool
+		age      time.Duration
+	}{
+		{
+			name:     "max-age",
+			r:        Response{Status: 200, CacheControl: "public, max-age=3600"},
+			storable: true, lifetime: time.Hour,
+		},
+		{
+			name:     "max-age with upstream age",
+			r:        Response{Status: 200, CacheControl: "max-age=3600", Age: "600"},
+			storable: true, lifetime: time.Hour, age: 10 * time.Minute,
+		},
+		{
+			name:     "private is storable in a private cache",
+			r:        Response{Status: 200, CacheControl: "private, max-age=60"},
+			storable: true, lifetime: time.Minute,
+		},
+		{
+			name: "no-store",
+			r:    Response{Status: 200, CacheControl: "no-store"},
+		},
+		{
+			name:     "no-cache stores but always revalidates",
+			r:        Response{Status: 200, CacheControl: "no-cache"},
+			storable: true, always: true,
+		},
+		{
+			name:     "pragma no-cache without cache-control",
+			r:        Response{Status: 200, Pragma: "no-cache"},
+			storable: true, always: true,
+		},
+		{
+			name: "pragma ignored when cache-control present",
+			r: Response{Status: 200, Pragma: "no-cache",
+				CacheControl: "max-age=60"},
+			storable: true, lifetime: time.Minute,
+		},
+		{
+			name: "expires minus date",
+			r: Response{Status: 200, Date: date,
+				Expires: "Thu, 12 Mar 2020 10:00:00 GMT"},
+			storable: true, lifetime: time.Hour,
+		},
+		{
+			name: "max-age beats expires",
+			r: Response{Status: 200, CacheControl: "max-age=60", Date: date,
+				Expires: "Thu, 12 Mar 2020 10:00:00 GMT"},
+			storable: true, lifetime: time.Minute,
+		},
+		{
+			name:     "malformed expires means stale",
+			r:        Response{Status: 200, Date: date, Expires: "0"},
+			storable: true,
+		},
+		{
+			name: "expires in the past clamps to zero",
+			r: Response{Status: 200, Date: date,
+				Expires: "Thu, 12 Mar 2020 08:00:00 GMT"},
+			storable: true,
+		},
+		{
+			name: "heuristic 10 percent of date minus last-modified",
+			r: Response{Status: 200, Date: date,
+				LastModified: "Mon, 02 Mar 2020 09:00:00 GMT"},
+			storable: true, lifetime: 24 * time.Hour, heur: true,
+		},
+		{
+			name:     "post is not storable",
+			r:        Response{Method: "POST", Status: 200, CacheControl: "max-age=60"},
+			storable: false,
+		},
+		{
+			name:     "uncacheable status",
+			r:        Response{Status: 500, CacheControl: "max-age=60"},
+			storable: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := ComputeFreshness(tc.r)
+			if f.Storable != tc.storable {
+				t.Errorf("Storable = %v, want %v", f.Storable, tc.storable)
+			}
+			if f.AlwaysRevalidate != tc.always {
+				t.Errorf("AlwaysRevalidate = %v, want %v", f.AlwaysRevalidate, tc.always)
+			}
+			if f.Lifetime != tc.lifetime {
+				t.Errorf("Lifetime = %v, want %v", f.Lifetime, tc.lifetime)
+			}
+			if f.Heuristic != tc.heur {
+				t.Errorf("Heuristic = %v, want %v", f.Heuristic, tc.heur)
+			}
+			if f.InitialAge != tc.age {
+				t.Errorf("InitialAge = %v, want %v", f.InitialAge, tc.age)
+			}
+		})
+	}
+}
+
+func TestFreshAt(t *testing.T) {
+	stored := time.Date(2020, 3, 12, 9, 0, 0, 0, time.UTC)
+	f := Freshness{Storable: true, Lifetime: time.Hour}
+	if !f.FreshAt(stored, stored.Add(59*time.Minute)) {
+		t.Error("should be fresh inside the lifetime")
+	}
+	if f.FreshAt(stored, stored.Add(time.Hour)) {
+		t.Error("should be stale at exactly the lifetime")
+	}
+	f.InitialAge = 30 * time.Minute
+	if f.FreshAt(stored, stored.Add(45*time.Minute)) {
+		t.Error("upstream age must count against the lifetime")
+	}
+	f = Freshness{Storable: true, AlwaysRevalidate: true, Lifetime: time.Hour}
+	if f.FreshAt(stored, stored.Add(time.Second)) {
+		t.Error("no-cache responses are never served without revalidation")
+	}
+}
+
+func TestHasValidator(t *testing.T) {
+	if (&Freshness{}).HasValidator() {
+		t.Error("empty freshness has no validator")
+	}
+	if !(&Freshness{ETag: `"x"`}).HasValidator() {
+		t.Error("ETag is a validator")
+	}
+	if !(&Freshness{LastModified: "Thu, 12 Mar 2020 09:00:00 GMT"}).HasValidator() {
+		t.Error("Last-Modified is a validator")
+	}
+}

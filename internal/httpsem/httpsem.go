@@ -82,7 +82,8 @@ func ParseCacheControl(v string) Directives {
 	return d
 }
 
-// Response is the minimal response view the classifier needs.
+// Response is the minimal response view the classifier and the browser
+// cache need.
 type Response struct {
 	Method       string // request method
 	Status       int
@@ -90,6 +91,9 @@ type Response struct {
 	Pragma       string
 	Expires      string // raw Expires header
 	Date         string // raw Date header
+	Age          string // raw Age header (seconds spent in upstream caches)
+	ETag         string // entity validator, verbatim (quotes included)
+	LastModified string // raw Last-Modified header
 }
 
 // Cacheable reports whether the response may be stored by a shared or
@@ -113,22 +117,22 @@ func Cacheable(r Response) bool {
 		return false
 	case d.HasMaxAge && d.MaxAge <= 0 && !d.HasSMaxAge:
 		return false
-	case strings.Contains(strings.ToLower(r.Pragma), "no-cache") && r.CacheControl == "":
+	case pragmaNoCache(r):
 		return false
 	}
 	if d.HasMaxAge || d.HasSMaxAge || d.Public || d.Immutable {
 		return true
 	}
 	if r.Expires != "" {
-		exp, err1 := time.Parse(time.RFC1123, r.Expires)
-		if err1 != nil {
+		exp, ok := parseHTTPDate(r.Expires)
+		if !ok {
 			// Historical servers send "0" or malformed dates: treat as
 			// already expired.
 			return false
 		}
 		base := time.Now()
 		if r.Date != "" {
-			if dt, err := time.Parse(time.RFC1123, r.Date); err == nil {
+			if dt, ok := parseHTTPDate(r.Date); ok {
 				base = dt
 			}
 		}
@@ -137,4 +141,19 @@ func Cacheable(r Response) bool {
 	// Heuristic freshness (RFC 7234 §4.2.2): responses without explicit
 	// freshness are cacheable by default for cacheable statuses.
 	return !d.Private
+}
+
+// pragmaNoCache reports the HTTP/1.0 no-cache escape hatch: it only
+// counts when no Cache-Control header overrides it.
+func pragmaNoCache(r Response) bool {
+	return strings.Contains(strings.ToLower(r.Pragma), "no-cache") && r.CacheControl == ""
+}
+
+// parseHTTPDate parses an HTTP date header. The study's servers emit
+// RFC 1123 exclusively (the http.TimeFormat shape), so that is the one
+// layout accepted; anything else is the malformed-date case callers
+// treat as "already expired".
+func parseHTTPDate(v string) (time.Time, bool) {
+	t, err := time.Parse(time.RFC1123, v)
+	return t, err == nil
 }

@@ -117,6 +117,19 @@ type Object struct {
 	ThirdParty     bool
 	Popularity     float64 // global request popularity, drives CDN/DNS warmth
 	VisualWeight   float64 // contribution to visual completeness (Speed Index)
+
+	// Cache validators and freshness, set for cacheable objects only
+	// (dynamic responses never validate). Hash-derived from the final
+	// URL — no RNG — so the generator's draw sequence is identical to
+	// the cold-only engine's. MaxAgeSecs 0 on a cacheable object means
+	// "validators but no explicit freshness": the heuristic-freshness
+	// population of RFC 7234 §4.2.2.
+	ETag         string
+	LastModified string // pre-formatted HTTP date
+	MaxAgeSecs   int
+	// EdgeAgeSecs is the Age header a CDN edge hit reports (time the
+	// copy already spent at the edge); 0 for origin-served objects.
+	EdgeAgeSecs int
 }
 
 // Hint is one resource hint emitted in the page head.
@@ -311,6 +324,7 @@ func (p *Page) Build() *PageModel {
 	p.assignPopularity(rng, m)
 	p.buildLinks(rng, m, landing)
 	p.wrapInsecureRedirect(m)
+	assignValidators(m) // after wrapInsecureRedirect: URLs are final here
 	return m
 }
 

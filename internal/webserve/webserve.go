@@ -154,12 +154,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Sub-resources of previously served documents.
 	if m, idx, ok := s.findObject(host, uri); ok {
 		o := m.Objects[idx]
-		body := m.RenderBody(idx, s.MaxBodyFill)
 		w.Header().Set("Content-Type", o.MIME)
+		if cc := o.CacheControl(idx); cc != "" {
+			w.Header().Set("Cache-Control", cc)
+		}
 		if o.Cacheable {
-			w.Header().Set("Cache-Control", "public, max-age=86400")
-		} else {
-			w.Header().Set("Cache-Control", "no-store")
+			if o.ETag != "" {
+				w.Header().Set("ETag", o.ETag)
+			}
+			if o.LastModified != "" {
+				w.Header().Set("Last-Modified", o.LastModified)
+			}
 		}
 		if o.ViaCDN != "" {
 			w.Header().Set("Server", o.ViaCDN)
@@ -167,12 +172,34 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		} else {
 			w.Header().Set("Server", "webgen-origin")
 		}
+		// Conditional revalidation: generated objects are immutable, so
+		// any validator match answers 304 (If-None-Match takes
+		// precedence over If-Modified-Since, RFC 7232 §6).
+		if notModified(r, o) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		body := m.RenderBody(idx, s.MaxBodyFill)
 		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 		_, _ = w.Write([]byte(body))
 		return
 	}
 
 	http.NotFound(w, r)
+}
+
+// notModified evaluates the request's conditional headers against the
+// object's validators.
+func notModified(r *http.Request, o *webgen.Object) bool {
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		return o.ETag != "" && (inm == "*" || strings.Contains(inm, o.ETag))
+	}
+	if ims := r.Header.Get("If-Modified-Since"); ims != "" && o.LastModified != "" {
+		lm, err1 := http.ParseTime(o.LastModified)
+		since, err2 := http.ParseTime(ims)
+		return err1 == nil && err2 == nil && !lm.After(since)
+	}
+	return false
 }
 
 // Client returns an http.Client that routes every request to the server

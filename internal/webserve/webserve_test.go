@@ -118,6 +118,63 @@ func TestCSSBodiesCarryChildRefs(t *testing.T) {
 	t.Skip("no CSS with children on this page")
 }
 
+// TestConditionalRequestsAnswer304 walks served sub-resources with the
+// validators they advertised and checks the revalidation contract:
+// matching If-None-Match or If-Modified-Since answers 304 with an empty
+// body; a non-matching validator replays the full 200.
+func TestConditionalRequestsAnswer304(t *testing.T) {
+	_, web, client := startServer(t)
+	site := web.Sites[0]
+	m := site.Landing().Build()
+	_, _ = get(t, client, m.URL) // register page
+
+	checked := 0
+	for i, o := range m.Objects {
+		if i == 0 || !o.Cacheable || o.ETag == "" {
+			continue
+		}
+		cond := func(name, value string) *http.Response {
+			t.Helper()
+			req, err := http.NewRequest("GET", urlx.WithScheme(o.URL, "http"), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set(name, value)
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNotModified && len(body) != 0 {
+				t.Errorf("%s: 304 carried a %d-byte body", o.URL, len(body))
+			}
+			return resp
+		}
+		if resp := cond("If-None-Match", o.ETag); resp.StatusCode != http.StatusNotModified {
+			t.Errorf("%s: If-None-Match %s answered %d, want 304", o.URL, o.ETag, resp.StatusCode)
+		}
+		if resp := cond("If-None-Match", `"mismatched-etag"`); resp.StatusCode != 200 {
+			t.Errorf("%s: stale validator answered %d, want 200", o.URL, resp.StatusCode)
+		}
+		if o.LastModified != "" {
+			if resp := cond("If-Modified-Since", o.LastModified); resp.StatusCode != http.StatusNotModified {
+				t.Errorf("%s: If-Modified-Since %s answered %d, want 304", o.URL, o.LastModified, resp.StatusCode)
+			}
+			if resp := cond("If-Modified-Since", "Mon, 02 Jan 2006 15:04:05 GMT"); resp.StatusCode != 200 {
+				t.Errorf("%s: ancient If-Modified-Since answered %d, want 200", o.URL, resp.StatusCode)
+			}
+		}
+		checked++
+		if checked >= 5 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cacheable objects with validators on the landing page")
+	}
+}
+
 func TestUnknownURLs404(t *testing.T) {
 	_, web, client := startServer(t)
 	resp, _ := get(t, client, "http://"+web.Sites[0].Host()+"/definitely-not-a-page")
