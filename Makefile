@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke ci fmt-check clean
+.PHONY: build test test-race bench bench-smoke lint ci fmt-check clean
 
 build:
 	$(GO) build ./...
@@ -30,14 +30,24 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -short -run=^$$ .
 
+# Determinism lint: cmd/detlint type-checks every package in the module
+# and enforces the invariants the seeded pipeline depends on (no wall
+# clock, no global RNG, no order-dependent map emission, ...). Exit 0 is
+# part of the tier-1 contract; detlint.json is the machine-readable
+# report CI uploads as an artifact.
+lint:
+	$(GO) run ./cmd/detlint -json -o detlint.json
+
 # Fail (with the offending files listed) if anything is not gofmt-clean.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# The full local gate, mirroring CI: formatting, vet, tier-1, tier-2.
+# The full local gate, mirroring CI: formatting, vet, lint, tier-1,
+# tier-2.
 ci: fmt-check
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(MAKE) test
 	$(MAKE) test-race
 

@@ -6,7 +6,10 @@
 //
 // Input comes from the file argument or stdin. Lines that are not
 // benchmark results (pass/fail banners, goos/goarch headers) are
-// ignored, so the raw `go test` stream can be piped in unfiltered.
+// ignored, so the raw `go test` stream can be piped in unfiltered — but
+// a line that starts a benchmark result and then fails to parse is an
+// error, not a skip: a truncated or corrupted bench.txt must fail the
+// pipeline loudly instead of publishing an empty or partial artifact.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // Result is one benchmark line's parsed metrics. Iterations and ns/op
@@ -37,6 +41,74 @@ type Result struct {
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// benchStart recognizes a line that claims to be a benchmark result:
+// the testing package always prints "Benchmark<Name>[-procs]<TAB>". Such
+// lines must parse fully or the input is corrupt.
+var benchStart = regexp.MustCompile(`^Benchmark\w+(?:-\d+)?\s`)
+
+// parseBench reads a `go test -bench` stream and returns results keyed
+// by benchmark name. It is strict where it matters: malformed metric
+// fields on a benchmark line, duplicate benchmark names, and inputs with
+// no benchmark lines at all are errors.
+func parseBench(in io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			if benchStart.MatchString(line) {
+				return nil, fmt.Errorf("line %d: malformed benchmark result %q", lineNo, strings.TrimSpace(line))
+			}
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad iteration count %q: %v", lineNo, m[2], err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad ns/op %q: %v", lineNo, m[3], err)
+		}
+		r := Result{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			v, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad MB/s %q: %v", lineNo, m[4], err)
+			}
+			r.MBPerSec = &v
+		}
+		if m[5] != "" {
+			v, err := strconv.ParseInt(m[5], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad B/op %q: %v", lineNo, m[5], err)
+			}
+			r.BytesPerOp = &v
+		}
+		if m[6] != "" {
+			v, err := strconv.ParseInt(m[6], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad allocs/op %q: %v", lineNo, m[6], err)
+			}
+			r.AllocsPerOp = &v
+		}
+		if _, dup := results[m[1]]; dup {
+			return nil, fmt.Errorf("line %d: duplicate benchmark %q (concatenated runs? pass one run per invocation)", lineNo, m[1])
+		}
+		results[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return results, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
@@ -49,35 +121,8 @@ func main() {
 		in = f
 	}
 
-	results := make(map[string]Result)
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			v, _ := strconv.ParseFloat(m[4], 64)
-			r.MBPerSec = &v
-		}
-		if m[5] != "" {
-			v, _ := strconv.ParseInt(m[5], 10, 64)
-			r.BytesPerOp = &v
-		}
-		if m[6] != "" {
-			v, _ := strconv.ParseInt(m[6], 10, 64)
-			r.AllocsPerOp = &v
-		}
-		results[m[1]] = r
-	}
-	fatal(sc.Err())
-	if len(results) == 0 {
-		fatal(fmt.Errorf("no benchmark result lines found in input"))
-	}
+	results, err := parseBench(in)
+	fatal(err)
 
 	enc, err := json.MarshalIndent(results, "", "  ")
 	fatal(err)

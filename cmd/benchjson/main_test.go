@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodInput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkColdLoad-8   	     124	   9612340 ns/op	  513678 B/op	    1290 allocs/op
+BenchmarkWarmLoad-8   	     250	   4806170 ns/op
+BenchmarkThroughput-8 	     100	   1000000 ns/op	 512.00 MB/s
+PASS
+ok  	repro	2.301s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(goodInput))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results, want 3: %v", len(res), res)
+	}
+	cold := res["BenchmarkColdLoad-8"]
+	if cold.Iterations != 124 || cold.NsPerOp != 9612340 {
+		t.Errorf("cold = %+v", cold)
+	}
+	if cold.BytesPerOp == nil || *cold.BytesPerOp != 513678 {
+		t.Errorf("cold B/op = %v", cold.BytesPerOp)
+	}
+	if cold.AllocsPerOp == nil || *cold.AllocsPerOp != 1290 {
+		t.Errorf("cold allocs/op = %v", cold.AllocsPerOp)
+	}
+	warm := res["BenchmarkWarmLoad-8"]
+	if warm.BytesPerOp != nil || warm.AllocsPerOp != nil {
+		t.Errorf("warm must not carry alloc metrics: %+v", warm)
+	}
+	tp := res["BenchmarkThroughput-8"]
+	if tp.MBPerSec == nil || *tp.MBPerSec != 512 {
+		t.Errorf("throughput MB/s = %v", tp.MBPerSec)
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{"empty", "", "no benchmark result lines"},
+		{"banners only", "goos: linux\nPASS\nok  \trepro\t1.0s\n", "no benchmark result lines"},
+		{"truncated line", "BenchmarkColdLoad-8   \t     124\n", "malformed benchmark result"},
+		{"garbage metrics", "BenchmarkColdLoad-8 \tfast\tvery ns/op\n", "malformed benchmark result"},
+		{"duplicate", "BenchmarkA-8 \t 1\t 5.0 ns/op\nBenchmarkA-8 \t 1\t 5.0 ns/op\n", "duplicate benchmark"},
+		{"overflow iterations", "BenchmarkA-8 \t 99999999999999999999\t 5.0 ns/op\n", "bad iteration count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseBench(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("parse accepted malformed input %q", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseBenchIgnoresProse ensures non-benchmark lines — including
+// b.Log output that happens to mention benchmarks mid-line — never
+// trigger the strict path.
+func TestParseBenchIgnoresProse(t *testing.T) {
+	input := "some log: Benchmark results below\nBenchmarkA-8 \t 2\t 7.5 ns/op\n"
+	res, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if r := res["BenchmarkA-8"]; r.Iterations != 2 || r.NsPerOp != 7.5 {
+		t.Errorf("got %+v", r)
+	}
+}

@@ -1,0 +1,130 @@
+// Command detlint runs the repository's determinism and concurrency
+// lint suite (internal/lint) over every package in the module.
+//
+//	detlint [-dir .] [-checks walltime,maporder] [-json] [-o file] [-list]
+//
+// Exit codes follow the CI contract:
+//
+//	0 — the tree is clean
+//	1 — findings were reported
+//	2 — the module failed to load (parse or type error, bad flags)
+//
+// Diagnostics print as "file:line:col: [check] message" with paths
+// relative to the module root; -json emits a machine-readable document
+// for CI artifacts instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "module root (directory containing go.mod)")
+	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	outFile := fs.String("o", "", "write output to file instead of stdout")
+	list := fs.Bool("list", false, "list available checks and exit")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	checks := lint.Checks()
+	if *checksFlag != "" {
+		checks = checks[:0:0]
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			c := lint.CheckByName(name)
+			if c == nil {
+				fmt.Fprintf(os.Stderr, "detlint: unknown check %q (use -list)\n", name)
+				return 2
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	pkgs, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, checks)
+	relativize(diags, *dir)
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if *jsonOut {
+		doc := struct {
+			Packages int               `json:"packages"`
+			Findings []lint.Diagnostic `json:"findings"`
+		}{Packages: len(pkgs), Findings: diags}
+		if doc.Findings == nil {
+			doc.Findings = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			return 2
+		}
+		// When the JSON goes to a file (the CI-artifact path), keep the
+		// human-readable diagnostics on stderr so a failing run is
+		// debuggable without opening the artifact.
+		if *outFile != "" {
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			fmt.Fprintf(os.Stderr, "detlint: %d packages, %d findings\n", len(pkgs), len(diags))
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+		fmt.Fprintf(os.Stderr, "detlint: %d packages, %d findings\n", len(pkgs), len(diags))
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites absolute diagnostic paths relative to the module
+// root so output is stable across machines and CI workspaces.
+func relativize(diags []lint.Diagnostic, root string) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(abs, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+}

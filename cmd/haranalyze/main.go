@@ -60,7 +60,8 @@ func main() {
 		f, err := os.Open(p)
 		fatal(err)
 		log, err := har.ReadJSON(f)
-		f.Close()
+		// Read-only close after a full decode: no signal in the error.
+		_ = f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "haranalyze: skipping %s: %v\n", p, err)
 			continue

@@ -73,7 +73,7 @@ func main() {
 
 	failed := 0
 	for _, e := range selected {
-		start := time.Now()
+		start := time.Now() //detlint:allow walltime -- per-experiment run timestamp for the operator, not a measurement
 		rep, err := e.Run(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "papereval: %s failed: %v\n", e.ID, err)
@@ -93,6 +93,7 @@ func main() {
 			}
 			fmt.Print(asciiplot.Render(series, asciiplot.Options{XLabel: rep.Title}))
 		}
+		//detlint:allow walltime -- per-experiment run timestamp for the operator, not a measurement
 		fmt.Printf("-- %s completed in %v --\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if failed > 0 {

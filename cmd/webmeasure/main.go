@@ -128,7 +128,7 @@ func writeHARs(web *webgen.Web, list *hispar.List, seed int64, dir string) {
 	})
 	fatal(err)
 	n := 0
-	start := time.Now()
+	start := time.Now() //detlint:allow walltime -- operator progress banner, not a measurement
 	for _, set := range list.Sets {
 		urls := append([]string{set.Landing}, set.Internal...)
 		for _, u := range urls {
@@ -147,6 +147,7 @@ func writeHARs(web *webgen.Web, list *hispar.List, seed int64, dir string) {
 			n++
 		}
 	}
+	//detlint:allow walltime -- operator progress banner, not a measurement
 	fmt.Fprintf(os.Stderr, "wrote %d HAR files to %s in %v\n", n, dir, time.Since(start).Round(time.Millisecond))
 }
 

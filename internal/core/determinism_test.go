@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/cdn"
+	"repro/internal/dnssim"
+)
+
+// studyArtifacts runs the full seeded pipeline — cold study, warm
+// revisit study, and per-page HAR dumps — at a given worker count and
+// GOMAXPROCS, and returns every byte the run would publish. This is the
+// end-to-end witness behind detlint's static contract: if any code path
+// consults the wall clock, the global RNG, or map iteration order, some
+// byte below changes between two calls.
+func studyArtifacts(t *testing.T, workers, procs int) (csv, warmCSV, har []byte) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+
+	web, list := faultWeb(t)
+	res, err := runStudy(t, web, list, func(c *StudyConfig) { c.Workers = workers })
+	if err != nil {
+		t.Fatalf("cold study: %v", err)
+	}
+	var csvBuf bytes.Buffer
+	if err := WriteMeasurementsCSV(&csvBuf, res); err != nil {
+		t.Fatalf("write csv: %v", err)
+	}
+
+	st, err := NewStudy(web, StudyConfig{Seed: 7, LandingFetches: 2, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := st.RunWarm(list, WarmConfig{RevisitDelay: 30 * time.Minute})
+	if err != nil {
+		t.Fatalf("warm study: %v", err)
+	}
+	var warmBuf bytes.Buffer
+	if err := WriteWarmCSV(&warmBuf, warmRes); err != nil {
+		t.Fatalf("write warm csv: %v", err)
+	}
+
+	// HAR artifacts, the way cmd/webmeasure -har produces them.
+	resolver := dnssim.NewResolver(dnssim.ResolverConfig{
+		Name: "isp", Seed: 7, WarmQueryRate: 0.8,
+	}, web.Authority(), nil)
+	warmth := cdn.PopularityWarmth(2.2, 0.97)
+	b, err := browser.New(browser.Config{
+		Seed:     7,
+		Resolver: resolver,
+		CDNFactory: func() *cdn.Network {
+			return cdn.NewNetwork(1<<14, warmth, 7)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var harBuf bytes.Buffer
+	for _, set := range list.Sets {
+		for _, u := range append([]string{set.Landing}, set.Internal...) {
+			page, ok := web.PageByURL(u)
+			if !ok {
+				continue
+			}
+			log, err := b.Load(page.Build(), 0)
+			if err != nil {
+				t.Fatalf("load %s: %v", u, err)
+			}
+			if err := log.WriteJSON(&harBuf); err != nil {
+				t.Fatalf("write har: %v", err)
+			}
+		}
+	}
+	return csvBuf.Bytes(), warmBuf.Bytes(), harBuf.Bytes()
+}
+
+// TestArtifactsInvariantAcrossParallelism is the determinism regression
+// test the lint contract points at: the same seeded study run with
+// different worker counts AND different GOMAXPROCS must publish
+// byte-identical CSV, warm CSV, and HAR artifacts. Any scheduling
+// dependence — a shared RNG, a wall-clock read in a measurement path, an
+// unsorted map emission — shows up here as a byte diff.
+func TestArtifactsInvariantAcrossParallelism(t *testing.T) {
+	csv1, warm1, har1 := studyArtifacts(t, 1, 1)
+	csv8, warm8, har8 := studyArtifacts(t, 8, runtime.NumCPU())
+
+	if !bytes.Equal(csv1, csv8) {
+		t.Errorf("measurement CSV differs between Workers=1/GOMAXPROCS=1 and Workers=8/GOMAXPROCS=%d (%d vs %d bytes)",
+			runtime.NumCPU(), len(csv1), len(csv8))
+	}
+	if !bytes.Equal(warm1, warm8) {
+		t.Errorf("warm CSV differs between parallelism settings (%d vs %d bytes)", len(warm1), len(warm8))
+	}
+	if !bytes.Equal(har1, har8) {
+		t.Errorf("HAR stream differs between parallelism settings (%d vs %d bytes)", len(har1), len(har8))
+	}
+	if len(csv1) == 0 || len(warm1) == 0 || len(har1) == 0 {
+		t.Fatal("empty artifacts: the pipeline under test produced nothing")
+	}
+}

@@ -51,6 +51,7 @@ func MeasureHAR(log *har.Log, az Analyzers) PageMeasurement {
 			CacheControl: e.Response.HeaderValue("Cache-Control"),
 			Pragma:       e.Response.HeaderValue("Pragma"),
 			Expires:      e.Response.HeaderValue("Expires"),
+			Date:         e.Response.HeaderValue("Date"),
 		}) {
 			m.CacheableBytes += e.Response.BodySize
 		} else {

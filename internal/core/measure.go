@@ -232,6 +232,7 @@ func MeasurePage(log *har.Log, model *webgen.PageModel, az Analyzers) PageMeasur
 			CacheControl: e.Response.HeaderValue("Cache-Control"),
 			Pragma:       e.Response.HeaderValue("Pragma"),
 			Expires:      e.Response.HeaderValue("Expires"),
+			Date:         e.Response.HeaderValue("Date"),
 		}) {
 			m.CacheableBytes += e.Response.BodySize
 		} else {

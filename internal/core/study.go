@@ -483,7 +483,10 @@ func (st *Study) Run(list *hispar.List) (*StudyResult, error) {
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	wallStart := time.Now()
+	// Operational telemetry only: worker utilization is real elapsed
+	// time by definition, so it goes through vclock.Wall — the sanctioned
+	// wall-clock accessor — and never touches measurement results.
+	wallStart := vclock.Wall()
 	for w := 0; w < st.cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -491,12 +494,12 @@ func (st *Study) Run(list *hispar.List) (*StudyResult, error) {
 			var busy time.Duration
 			sites := 0
 			for i := range jobs {
-				t0 := time.Now()
+				t0 := vclock.Wall()
 				results[i], outcomes[i] = st.measureSiteResilient(i, list.Sets[i])
-				busy += time.Since(t0)
+				busy += vclock.WallSince(t0)
 				sites++
 			}
-			if wall := time.Since(wallStart); wall > 0 {
+			if wall := vclock.WallSince(wallStart); wall > 0 {
 				st.stats.SetGauge(fmt.Sprintf("worker.%d.utilization", w), busy.Seconds()/wall.Seconds())
 			}
 			st.stats.Inc(fmt.Sprintf("worker.%d.sites", w), int64(sites))

@@ -10,6 +10,7 @@
 package hb
 
 import (
+	"sort"
 	"strings"
 	"time"
 
@@ -69,6 +70,7 @@ func Detect(log *har.Log) Result {
 	for h := range exchanges {
 		r.Exchanges = append(r.Exchanges, h)
 	}
+	sort.Strings(r.Exchanges)
 	if !firstBid.IsZero() {
 		r.AuctionSpread = lastBid.Sub(firstBid)
 	}

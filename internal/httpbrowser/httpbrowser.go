@@ -8,12 +8,15 @@
 // stack consumes can be produced against any HTTP server, in particular
 // internal/webserve's loopback web. Timings are wall-clock and therefore
 // not deterministic; use internal/browser for calibrated experiments.
+//
+//detlint:allow walltime -- live-web measurement: the wall clock IS the instrument here, by design
 package httpbrowser
 
 import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -228,16 +231,24 @@ func (b *Browser) fetch(url, initiator string, depth int, nav time.Time) *fetchR
 		return fr
 	}
 	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	// The body was drained above; a Close error here carries no signal.
+	_ = resp.Body.Close()
 	if err != nil {
 		fr.err = err
 		return fr
 	}
 	elapsed := time.Since(start)
 
+	// http.Header is a map: emit headers in sorted order so the HAR
+	// artifact is stable for a given server response.
+	names := make([]string, 0, len(resp.Header))
+	for name := range resp.Header {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var headers []har.Header
-	for name, vals := range resp.Header {
-		for _, v := range vals {
+	for _, name := range names {
+		for _, v := range resp.Header[name] {
 			headers = append(headers, har.Header{Name: name, Value: v})
 		}
 	}

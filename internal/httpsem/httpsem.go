@@ -130,13 +130,17 @@ func Cacheable(r Response) bool {
 			// already expired.
 			return false
 		}
-		base := time.Now()
 		if r.Date != "" {
 			if dt, ok := parseHTTPDate(r.Date); ok {
-				base = dt
+				return exp.After(dt)
 			}
 		}
-		return exp.After(base)
+		// No usable Date reference. RFC 7234 would fall back to receipt
+		// time, but a wall-clock read here would make the classification
+		// of a recorded response depend on when the analysis runs. A
+		// valid Expires without a Date still signals explicit freshness
+		// intent, so count the response cacheable.
+		return true
 	}
 	// Heuristic freshness (RFC 7234 §4.2.2): responses without explicit
 	// freshness are cacheable by default for cacheable statuses.

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// envFuncs are the os-package entry points that read the process
+// environment. Environment-dependent behavior in library code makes a
+// "seeded" run depend on invisible host state.
+var envFuncs = map[string]bool{
+	"Getenv":    true,
+	"LookupEnv": true,
+	"Environ":   true,
+	"ExpandEnv": true,
+}
+
+// EnvreadCheck forbids reading the process environment anywhere under
+// internal/. Configuration flows through explicit config structs and
+// flags parsed in cmd/ — the only place a run's inputs may enter —
+// so that two runs with identical flags are identical, whatever the
+// host's environment holds.
+var EnvreadCheck = &Check{
+	Name: "envread",
+	Doc:  "forbid os.Getenv/os.LookupEnv in internal/; pass configuration explicitly",
+	Run:  runEnvread,
+}
+
+func runEnvread(p *Pass) {
+	if !isSubPath(p.Pkg.Path, "repro/internal") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(p.Pkg.Info, call)
+			if !ok || pkg != "os" || !envFuncs[name] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"os.%s reads hidden host state; internal packages take configuration explicitly so seeded runs are a pure function of their inputs", name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdropMethods are the writer-lifecycle methods whose error return is
+// the only signal a truncated or unflushed artifact leaves behind. A CSV
+// row that never hit the disk and a HAR whose encoder died mid-document
+// both look exactly like success if these are dropped.
+var errdropMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteAll": true, "Flush": true, "Close": true, "Encode": true,
+}
+
+// ErrdropCheck flags statement-level calls to Write/Close/Flush/Encode
+// methods whose trailing error result is silently discarded. Deferred
+// calls are exempt (the idiomatic best-effort cleanup), as are the
+// never-failing in-memory writers strings.Builder and bytes.Buffer.
+// An explicit `_ =` discard is also accepted: it is a visible decision,
+// not an accident.
+var ErrdropCheck = &Check{
+	Name: "errdrop",
+	Doc:  "flag dropped error returns from Write/Close/Flush/Encode on artifact writers",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := methodCall(p.Pkg.Info, call)
+			if !ok || !errdropMethods[name] {
+				return true
+			}
+			if !lastResultIsError(p.Pkg.Info, call) {
+				return true
+			}
+			// strings.Builder and bytes.Buffer writes are documented to
+			// never return an error, and hash.Hash implementations
+			// (hash/*, crypto/*) carry the same guarantee.
+			if namedIn(recv, "strings", "Builder") || namedIn(recv, "bytes", "Buffer") {
+				return true
+			}
+			if named, isNamed := recv.(*types.Named); isNamed {
+				if pkg := named.Obj().Pkg(); pkg != nil {
+					if path := pkg.Path(); path == "hash" || strings.HasPrefix(path, "hash/") ||
+						path == "crypto" || strings.HasPrefix(path, "crypto/") {
+						return true
+					}
+				}
+			}
+			p.Reportf(call.Pos(),
+				"error return of %s dropped; a failed %s is the only evidence of a truncated artifact — check it or discard explicitly with _ =",
+				name, name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MaporderCheck flags range statements over maps whose body emits
+// order-sensitive output: appending to a slice that is never sorted
+// afterwards, or writing directly to a writer (fmt.Fprint*, Write,
+// WriteString, Encode, ...). Go randomizes map iteration order on
+// purpose, so such loops are the classic nondeterministic-output bug —
+// a CSV or HAR artifact whose row order changes between identical runs.
+//
+// The sanctioned idiom passes: collect the keys, sort them, then range
+// over the sorted slice. A loop that only appends is accepted when the
+// destination slice is passed to sort.Strings/sort.Slice/... (or a
+// slices.Sort* function) later in the same function.
+var MaporderCheck = &Check{
+	Name: "maporder",
+	Doc:  "flag map-range loops that emit output in iteration order; sort the keys first",
+	Run:  runMaporder,
+}
+
+// outputMethods are method names that move bytes toward an artifact.
+// Writing any of them inside a map-range body emits in iteration order —
+// including strings.Builder and hash writes, which are just as
+// order-sensitive as a file write.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteAll": true, "Encode": true,
+}
+
+// fprintFuncs are the fmt writer-directed print functions.
+var fprintFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMaporder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(p, fd.Body)
+		}
+	}
+}
+
+// checkMapRanges walks a function body looking for range-over-map
+// statements with order-sensitive bodies. body is also the scope scanned
+// for later sort calls that sanction an append-collect loop.
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Pkg.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		inspectMapRangeBody(p, body, rs)
+		return true
+	})
+}
+
+func inspectMapRangeBody(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := pkgFunc(p.Pkg.Info, n); ok && pkg == "fmt" && fprintFuncs[name] {
+				p.Reportf(n.Pos(),
+					"fmt.%s inside a map-range loop writes in nondeterministic iteration order; collect and sort the keys first", name)
+				return true
+			}
+			if _, name, ok := methodCall(p.Pkg.Info, n); ok && outputMethods[name] {
+				p.Reportf(n.Pos(),
+					"%s call inside a map-range loop emits in nondeterministic iteration order; collect and sort the keys first", name)
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) >= 2 {
+				dest := n.Args[0]
+				// Appending into a map value (m[k] = append(m[k], v))
+				// builds a map, whose own order is irrelevant.
+				if ix, ok := dest.(*ast.IndexExpr); ok {
+					if tv, ok := p.Pkg.Info.Types[ix.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							return true
+						}
+					}
+				}
+				// A slice declared inside the loop body is a per-iteration
+				// temporary; whatever consumes it decides its own order.
+				if declaredWithin(p, dest, rs.Body) {
+					return true
+				}
+				if !sortedLater(p, fnBody, rs, dest) {
+					p.Reportf(n.Pos(),
+						"appending to %s in map-iteration order is nondeterministic; sort %s afterwards or range over sorted keys",
+						exprString(dest), exprString(dest))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedLater reports whether dest (the slice being appended to inside
+// the map-range loop) is handed to a sort function after the loop, in
+// the same function body — the collect-then-sort idiom.
+func sortedLater(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, dest ast.Expr) bool {
+	want := exprString(dest)
+	if want == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		pkg, name, ok := pkgFunc(p.Pkg.Info, call)
+		if !ok {
+			return true
+		}
+		isSort := (pkg == "sort" || pkg == "slices") &&
+			(name == "Sort" || name == "SortFunc" || name == "SortStableFunc" ||
+				name == "Strings" || name == "Ints" || name == "Float64s" ||
+				name == "Slice" || name == "SliceStable" || name == "Stable")
+		if isSort && exprString(call.Args[0]) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// declaredWithin reports whether e is an identifier whose declaration
+// sits inside the given block.
+func declaredWithin(p *Pass, e ast.Expr, block *ast.BlockStmt) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		obj = p.Pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= block.Pos() && obj.Pos() <= block.End()
+}
+
+// exprString renders an identifier or selector chain ("x", "m.Field")
+// for positional matching of the appended-to destination against later
+// sort calls. Other expression shapes return "".
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

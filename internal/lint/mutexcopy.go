@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexcopyCheck flags by-value copies of types that contain sync
+// primitives (sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once,
+// sync.Cond, sync.Map, sync.Pool). A copied lock guards nothing: two
+// goroutines each lock their own copy and race on the shared state the
+// original protected. Detected shapes:
+//
+//   - methods declared with a by-value receiver of a lock-holding type
+//   - assignments whose right-hand side copies a lock-holding value
+//     (x := *p, x = y, x := s[i]) — composite literals and call results
+//     construct fresh values and pass
+//   - call arguments that pass a lock-holding value by value
+//   - range clauses whose value variable copies lock-holding elements
+//
+// go vet's copylocks covers similar ground; this check keeps the rule in
+// the same gate and diagnostic format as the rest of the determinism
+// contract.
+var MutexcopyCheck = &Check{
+	Name: "mutexcopy",
+	Doc:  "flag by-value copies of types containing sync.Mutex/WaitGroup and friends",
+	Run:  runMutexcopy,
+}
+
+var syncLockTypes = []string{"Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool"}
+
+// holdsLock reports whether t directly is, or transitively contains (by
+// struct field or array element), a sync primitive. seen guards against
+// recursive types.
+func holdsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if namedIn(t, "sync", syncLockTypes...) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return holdsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func lockType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return false
+	}
+	return holdsLock(t, make(map[types.Type]bool))
+}
+
+// copiesValue reports whether evaluating e yields a copy of an existing
+// value rather than a freshly constructed one. Composite literals, calls
+// (constructors), and address-taking produce new values or pointers.
+func copiesValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	}
+	return false
+}
+
+func runMutexcopy(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv == nil || len(n.Recv.List) == 0 {
+					return true
+				}
+				rt := info.Types[n.Recv.List[0].Type].Type
+				if lockType(rt) {
+					p.Reportf(n.Recv.Pos(),
+						"method %s has a by-value receiver of %s, which copies its sync primitive on every call; use a pointer receiver", n.Name.Name, rt)
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					// Assigning to the blank identifier discards the value;
+					// nothing retains the broken copy.
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					if !copiesValue(rhs) {
+						continue
+					}
+					tv, ok := info.Types[rhs]
+					if ok && lockType(tv.Type) {
+						p.Reportf(rhs.Pos(),
+							"assignment copies a value of %s, which holds a sync primitive; keep a pointer instead", tv.Type)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if !copiesValue(arg) {
+						continue
+					}
+					tv, ok := info.Types[arg]
+					if ok && lockType(tv.Type) {
+						p.Reportf(arg.Pos(),
+							"call passes a value of %s by value, copying its sync primitive; pass a pointer", tv.Type)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				var vt types.Type
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						vt = obj.Type()
+					}
+				}
+				if vt == nil {
+					if tv, ok := info.Types[n.Value]; ok {
+						vt = tv.Type
+					}
+				}
+				if lockType(vt) {
+					p.Reportf(n.Value.Pos(),
+						"range copies elements of %s, which hold a sync primitive; range over indices or pointers", vt)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,20 @@
+// Package allowfile exercises file-level allow directives: the
+// annotation below sits in the doc block, so every walltime finding in
+// this file is suppressed — but only walltime; other checks still fire.
+//
+//detlint:allow walltime -- golden test: whole-file suppression
+package allowfile
+
+import (
+	"os"
+	"time"
+)
+
+func clocked() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}
+
+func env() string {
+	return os.Getenv("HOME")
+}

@@ -1,0 +1,25 @@
+// Package envread exercises the envread check: internal packages must
+// not read the process environment; explicit configuration passes.
+package envread
+
+import "os"
+
+func bad() string {
+	v := os.Getenv("STUDY_SEED")                    // want `os\.Getenv reads hidden host state`
+	if _, ok := os.LookupEnv("STUDY_WORKERS"); ok { // want `os\.LookupEnv reads hidden host state`
+		return ""
+	}
+	return v
+}
+
+type config struct {
+	Seed    int64
+	Workers int
+}
+
+func good(c config) int64 {
+	// Configuration arrives explicitly; the file system API itself is
+	// not the environment.
+	_ = os.TempDir()
+	return c.Seed
+}

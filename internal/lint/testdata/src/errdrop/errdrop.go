@@ -1,0 +1,51 @@
+// Package errdrop exercises the errdrop check: dropped Write/Close/
+// Flush/Encode errors on artifact writers are flagged; checked returns,
+// explicit discards, defers, and never-failing writers pass.
+package errdrop
+
+import (
+	"bufio"
+	"encoding/csv"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+)
+
+func bad(f *os.File, rec []string) {
+	cw := csv.NewWriter(f)
+	cw.Write(rec) // want `error return of Write dropped`
+	bw := bufio.NewWriter(f)
+	bw.Flush() // want `error return of Flush dropped`
+	f.Close()  // want `error return of Close dropped`
+}
+
+func good(f *os.File, rec []string) error {
+	cw := csv.NewWriter(f)
+	if err := cw.Write(rec); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func goodExplicitDiscard(f *os.File) {
+	// A visible decision, not an accident.
+	_ = f.Close()
+}
+
+func goodDefer(f *os.File) {
+	// Deferred best-effort cleanup is idiomatic.
+	defer f.Close()
+}
+
+func goodNeverFails(w io.Writer) string {
+	var b strings.Builder
+	b.WriteString("never fails")
+	h := fnv.New64a()
+	h.Write([]byte("hash writes never fail"))
+	return b.String()
+}

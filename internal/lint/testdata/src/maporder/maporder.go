@@ -1,0 +1,79 @@
+// Package maporder exercises the maporder check: emitting output while
+// ranging over a map is flagged; the collect-then-sort idiom, map
+// building, and pure aggregation pass.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func badWrite(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside a map-range loop`
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString call inside a map-range loop`
+	}
+	return b.String()
+}
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appending to keys in map-iteration order`
+	}
+	return keys
+}
+
+type report struct {
+	Rows []string
+}
+
+func badFieldAppend(r *report, m map[string]bool) {
+	for k := range m {
+		r.Rows = append(r.Rows, k) // want `appending to r\.Rows in map-iteration order`
+	}
+}
+
+func goodCollectSort(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func goodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodMapBuild(m map[string][]string) map[string][]string {
+	out := make(map[string][]string)
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Package mutexcopy exercises the mutexcopy check: by-value copies of
+// lock-holding types are flagged; pointers and fresh construction pass.
+package mutexcopy
+
+import "sync"
+
+type guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+type nested struct {
+	inner guarded
+}
+
+func (g guarded) badValueReceiver() int { // want `by-value receiver`
+	return g.count
+}
+
+func (g *guarded) goodPointerReceiver() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.count
+}
+
+func consumeByValue(g guarded) int { return g.count }
+
+func consumeByPointer(g *guarded) int { return g.count }
+
+func bad(p *guarded, all []nested) {
+	g := *p                 // want `holds a sync primitive`
+	_ = consumeByValue(g)   // want `copying its sync primitive`
+	for _, n := range all { // want `range copies elements`
+		_ = n.inner.count
+	}
+}
+
+func good(p *guarded, all []nested) {
+	_ = consumeByPointer(p)
+	fresh := guarded{count: 1}
+	_ = fresh
+	for i := range all {
+		_ = all[i].inner.count
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
+}

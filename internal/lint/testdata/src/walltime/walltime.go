@@ -1,0 +1,33 @@
+// Package walltime exercises the walltime check: wall-clock reads are
+// forbidden outside internal/vclock; duration arithmetic and explicit
+// allow annotations pass.
+package walltime
+
+import "time"
+
+// Epoch is fine: constructing times is not reading the clock.
+var Epoch = time.Date(2020, 3, 12, 0, 0, 0, 0, time.UTC)
+
+func bad() time.Time {
+	t := time.Now()                // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the wall clock`
+	_ = time.Since(t)              // want `time\.Since reads the wall clock`
+	<-time.After(time.Millisecond) // want `time\.After reads the wall clock`
+	return t
+}
+
+func good(clock interface{ Now() time.Time }) time.Duration {
+	// Virtual-clock reads and pure duration math never touch the host.
+	start := clock.Now()
+	d := 3 * time.Second
+	_ = start.Add(d)
+	return d
+}
+
+func annotated() time.Time {
+	//detlint:allow walltime -- golden test: directive on the line above suppresses
+	a := time.Now()
+	b := time.Now() //detlint:allow walltime -- golden test: same-line directive suppresses
+	_ = b
+	return a
+}

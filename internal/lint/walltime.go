@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallFuncs are the time-package functions that read or wait on the
+// process wall clock. Anything here called from measurement code makes a
+// seeded run irreproducible: two identical runs observe different times,
+// and timings leak into CSV/HAR artifacts.
+var wallFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WalltimeCheck forbids wall-clock reads and waits outside
+// internal/vclock, the one package sanctioned to touch real time. All
+// simulation and measurement code must take its notion of time from a
+// threaded *vclock.Clock (or vclock.Wall for operational telemetry).
+// Binaries under cmd/ that deliberately show wall-clock progress to an
+// operator annotate each use with //detlint:allow walltime.
+var WalltimeCheck = &Check{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Since/Sleep/After outside internal/vclock; use a threaded *vclock.Clock",
+	Run:  runWalltime,
+}
+
+func runWalltime(p *Pass) {
+	if isSubPath(p.Pkg.Path, "repro/internal/vclock") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(p.Pkg.Info, call)
+			if !ok || pkg != "time" || !wallFuncs[name] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"time.%s reads the wall clock and breaks seeded reproducibility; use the threaded *vclock.Clock (internal/vclock), or vclock.Wall for operational telemetry", name)
+			return true
+		})
+	}
+}

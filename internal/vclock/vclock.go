@@ -61,6 +61,19 @@ func (c *Clock) Since(t time.Time) time.Duration {
 	return c.Now().Sub(t)
 }
 
+// Wall returns the current real wall-clock time. It is the single
+// sanctioned wall-clock accessor in the tree: operational telemetry
+// (worker utilization, run-duration banners) may consult it, measurement
+// code must not — detlint's walltime check forbids direct time.Now use
+// everywhere outside this package, so every real-time read is findable
+// under one name.
+func Wall() time.Time { return time.Now() }
+
+// WallSince returns the real time elapsed since t, which should be a
+// previous Wall() reading. Like Wall, it exists so operational code
+// never touches the time package directly.
+func WallSince(t time.Time) time.Duration { return time.Since(t) }
+
 // event is a scheduled callback on a Timeline.
 type event struct {
 	at  time.Time
