@@ -10,6 +10,15 @@
 // a line that starts a benchmark result and then fails to parse is an
 // error, not a skip: a truncated or corrupted bench.txt must fail the
 // pipeline loudly instead of publishing an empty or partial artifact.
+//
+// Comparison mode diffs two previously-written artifacts:
+//
+//	benchjson -old BENCH_main.json -new BENCH_pr.json -tol 0.10
+//
+// It prints per-benchmark ns/op and allocs/op deltas and exits 1 when
+// any benchmark regresses beyond the fractional tolerance (default
+// +10%). Benchmarks present on only one side are reported but are not
+// regressions — renames must not mask or fabricate a slowdown.
 package main
 
 import (
@@ -18,10 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Result is one benchmark line's parsed metrics. Iterations and ns/op
@@ -109,9 +121,154 @@ func parseBench(in io.Reader) (map[string]Result, error) {
 	return results, nil
 }
 
+// Delta is one benchmark's old→new comparison. Changes are fractional:
+// +0.05 is five percent slower (or more allocations). AllocsChange is
+// nil when either side did not report allocations.
+type Delta struct {
+	Name         string
+	OldNs, NewNs float64
+	NsChange     float64
+	OldAllocs    *int64
+	NewAllocs    *int64
+	AllocsChange *float64
+	Regressed    bool
+}
+
+// fracChange returns (new-old)/old, treating a zero baseline specially:
+// zero→zero is no change, zero→anything is an infinite regression (a
+// benchmark that did nothing now does something).
+func fracChange(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (new - old) / old
+}
+
+// compare diffs two artifacts benchmark-by-benchmark. Deltas come back
+// sorted by name; added and removed list benchmarks present on only one
+// side. regressed is true when any delta exceeds tol on ns/op or
+// allocs/op.
+func compare(old, new map[string]Result, tol float64) (deltas []Delta, added, removed []string, regressed bool) {
+	names := make([]string, 0, len(old))
+	for name := range old {
+		if _, ok := new[name]; ok {
+			names = append(names, name)
+		} else {
+			removed = append(removed, name)
+		}
+	}
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(added)
+	sort.Strings(removed)
+
+	for _, name := range names {
+		o, n := old[name], new[name]
+		d := Delta{
+			Name:      name,
+			OldNs:     o.NsPerOp,
+			NewNs:     n.NsPerOp,
+			NsChange:  fracChange(o.NsPerOp, n.NsPerOp),
+			OldAllocs: o.AllocsPerOp,
+			NewAllocs: n.AllocsPerOp,
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			c := fracChange(float64(*o.AllocsPerOp), float64(*n.AllocsPerOp))
+			d.AllocsChange = &c
+		}
+		d.Regressed = d.NsChange > tol || (d.AllocsChange != nil && *d.AllocsChange > tol)
+		if d.Regressed {
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, added, removed, regressed
+}
+
+// readArtifact loads a JSON document previously written by benchjson.
+func readArtifact(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Result
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in artifact", path)
+	}
+	return m, nil
+}
+
+// renderDeltas prints the comparison table plus added/removed notes.
+func renderDeltas(w io.Writer, deltas []Delta, added, removed []string) error {
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tallocs delta\t")
+	for _, d := range deltas {
+		allocs := "n/a"
+		if d.AllocsChange != nil {
+			allocs = fmt.Sprintf("%+.1f%%", *d.AllocsChange*100)
+		}
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%+.1f%%\t%s\t%s\n",
+			d.Name, d.OldNs, d.NewNs, d.NsChange*100, allocs, mark)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "added: %s (no baseline)\n", name)
+	}
+	for _, name := range removed {
+		fmt.Fprintf(w, "removed: %s (was in baseline)\n", name)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	oldFile := flag.String("old", "", "comparison mode: baseline benchjson artifact")
+	newFile := flag.String("new", "", "comparison mode: candidate benchjson artifact")
+	tol := flag.Float64("tol", 0.10, "comparison mode: fractional regression tolerance on ns/op and allocs/op")
 	flag.Parse()
+
+	if (*oldFile == "") != (*newFile == "") {
+		fatal(fmt.Errorf("-old and -new must be given together"))
+	}
+	if *oldFile != "" {
+		oldRes, err := readArtifact(*oldFile)
+		fatal(err)
+		newRes, err := readArtifact(*newFile)
+		fatal(err)
+		deltas, added, removed, regressed := compare(oldRes, newRes, *tol)
+
+		w := io.Writer(os.Stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			fatal(err)
+			defer f.Close()
+			w = f
+		}
+		fatal(renderDeltas(w, deltas, added, removed))
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks compared, tolerance %+.1f%%\n",
+			len(deltas), *tol*100)
+		if regressed {
+			fmt.Fprintln(os.Stderr, "benchjson: regression beyond tolerance")
+			os.Exit(1)
+		}
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {

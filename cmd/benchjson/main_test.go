@@ -1,6 +1,8 @@
 package main
 
 import (
+	"math"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -64,6 +66,89 @@ func TestParseBenchErrors(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+func i64(v int64) *int64 { return &v }
+
+// TestFracChange pins the delta math, including the zero-baseline edge
+// cases (zero→zero is flat, zero→positive is an infinite regression).
+func TestFracChange(t *testing.T) {
+	cases := []struct {
+		old, new, want float64
+	}{
+		{100, 110, 0.10},
+		{100, 90, -0.10},
+		{100, 100, 0},
+		{0, 0, 0},
+		{0, 5, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		got := fracChange(tc.old, tc.new)
+		if math.Abs(got-tc.want) > 1e-12 && !(math.IsInf(got, 1) && math.IsInf(tc.want, 1)) {
+			t.Errorf("fracChange(%v, %v) = %v, want %v", tc.old, tc.new, got, tc.want)
+		}
+	}
+}
+
+// TestCompare covers the comparison semantics: ns/op regression beyond
+// tolerance fails, within tolerance passes, an allocs/op jump fails even
+// when ns/op improves, and one-sided benchmarks are reported as
+// added/removed rather than regressions.
+func TestCompare(t *testing.T) {
+	old := map[string]Result{
+		"BenchmarkSlow-8":    {Iterations: 10, NsPerOp: 100},
+		"BenchmarkOK-8":      {Iterations: 10, NsPerOp: 100},
+		"BenchmarkAllocs-8":  {Iterations: 10, NsPerOp: 100, AllocsPerOp: i64(10)},
+		"BenchmarkRemoved-8": {Iterations: 10, NsPerOp: 100},
+	}
+	new := map[string]Result{
+		"BenchmarkSlow-8":   {Iterations: 10, NsPerOp: 125},                      // +25% ns/op: regression
+		"BenchmarkOK-8":     {Iterations: 10, NsPerOp: 105},                      // +5%: within tolerance
+		"BenchmarkAllocs-8": {Iterations: 10, NsPerOp: 90, AllocsPerOp: i64(20)}, // faster but 2× allocs
+		"BenchmarkAdded-8":  {Iterations: 10, NsPerOp: 50},
+	}
+	deltas, added, removed, regressed := compare(old, new, 0.10)
+	if !regressed {
+		t.Fatal("expected a regression")
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3 (%+v)", len(deltas), deltas)
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkSlow-8"]; !d.Regressed || math.Abs(d.NsChange-0.25) > 1e-12 {
+		t.Errorf("Slow = %+v", d)
+	}
+	if d := byName["BenchmarkOK-8"]; d.Regressed {
+		t.Errorf("OK must be within tolerance: %+v", d)
+	}
+	if d := byName["BenchmarkAllocs-8"]; !d.Regressed || d.AllocsChange == nil || math.Abs(*d.AllocsChange-1.0) > 1e-12 {
+		t.Errorf("Allocs = %+v", d)
+	}
+	if len(added) != 1 || added[0] != "BenchmarkAdded-8" {
+		t.Errorf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != "BenchmarkRemoved-8" {
+		t.Errorf("removed = %v", removed)
+	}
+	// Deltas are name-sorted for deterministic artifacts.
+	if !sort.SliceIsSorted(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name }) {
+		t.Errorf("deltas not sorted: %+v", deltas)
+	}
+}
+
+// TestCompareCleanPass asserts the no-regression path reports nothing.
+func TestCompareCleanPass(t *testing.T) {
+	res := map[string]Result{"BenchmarkA-8": {Iterations: 1, NsPerOp: 100, AllocsPerOp: i64(5)}}
+	deltas, added, removed, regressed := compare(res, res, 0.10)
+	if regressed || len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("self-comparison must be clean: %+v %v %v", deltas, added, removed)
+	}
+	if d := deltas[0]; d.NsChange != 0 || *d.AllocsChange != 0 {
+		t.Errorf("self-delta nonzero: %+v", d)
 	}
 }
 

@@ -1,23 +1,31 @@
 // Command detlint runs the repository's determinism and concurrency
 // lint suite (internal/lint) over every package in the module.
 //
-//	detlint [-dir .] [-checks walltime,maporder] [-json] [-o file] [-list]
+//	detlint [-dir .] [-checks walltime,taint] [-format text|json|sarif]
+//	        [-baseline file] [-write-baseline] [-o file] [-list]
 //
 // Exit codes follow the CI contract:
 //
-//	0 — the tree is clean
-//	1 — findings were reported
+//	0 — the tree is clean (after baseline filtering, if any)
+//	1 — new findings were reported
 //	2 — the module failed to load (parse or type error, bad flags)
 //
 // Diagnostics print as "file:line:col: [check] message" with paths
-// relative to the module root; -json emits a machine-readable document
-// for CI artifacts instead.
+// relative to the module root. -format json emits a machine-readable
+// document recording the checks that ran (-json is a legacy alias);
+// -format sarif emits SARIF 2.1.0 for GitHub code scanning.
+//
+// -baseline file filters findings through a recorded baseline: entries
+// in the file are suppressed, anything new fails. -write-baseline
+// records the current findings into the baseline file and exits 0 —
+// the adopt-incrementally workflow for new checks.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,7 +41,10 @@ func run() int {
 	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
 	dir := fs.String("dir", ".", "module root (directory containing go.mod)")
 	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all)")
-	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	format := fs.String("format", "", "output format: text, json, or sarif (default: text)")
+	jsonOut := fs.Bool("json", false, "legacy alias for -format json")
+	baselineFile := fs.String("baseline", "", "baseline file: suppress findings recorded in it")
+	writeBaseline := fs.Bool("write-baseline", false, "record current findings into -baseline and exit 0")
 	outFile := fs.String("o", "", "write output to file instead of stdout")
 	list := fs.Bool("list", false, "list available checks and exit")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -45,6 +56,23 @@ func run() int {
 			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
 		}
 		return 0
+	}
+
+	switch *format {
+	case "":
+		if *jsonOut {
+			*format = "json"
+		} else {
+			*format = "text"
+		}
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "detlint: unknown format %q (text, json, sarif)\n", *format)
+		return 2
+	}
+	if *writeBaseline && *baselineFile == "" {
+		fmt.Fprintln(os.Stderr, "detlint: -write-baseline requires -baseline <file>")
+		return 2
 	}
 
 	checks := lint.Checks()
@@ -69,6 +97,31 @@ func run() int {
 	diags := lint.Run(pkgs, checks)
 	relativize(diags, *dir)
 
+	if *writeBaseline {
+		f, err := os.Create(*baselineFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := lint.NewBaseline(diags).Write(f); err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "detlint: wrote baseline %s (%d findings)\n", *baselineFile, len(diags))
+		return 0
+	}
+
+	var suppressed []lint.Diagnostic
+	if *baselineFile != "" {
+		base, err := lint.ReadBaseline(*baselineFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			return 2
+		}
+		diags, suppressed = base.Filter(diags)
+	}
+
 	out := os.Stdout
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
@@ -80,39 +133,63 @@ func run() int {
 		out = f
 	}
 
-	if *jsonOut {
-		doc := struct {
-			Packages int               `json:"packages"`
-			Findings []lint.Diagnostic `json:"findings"`
-		}{Packages: len(pkgs), Findings: diags}
+	if err := render(out, *format, checks, pkgs, diags, suppressed); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		return 2
+	}
+	// Whenever the primary stream is machine-readable or a file (the
+	// CI-artifact paths), mirror the human-readable diagnostics on stderr
+	// so a failing run is debuggable without opening the artifact.
+	if *format != "text" || *outFile != "" {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "detlint: %d packages, %d findings, %d suppressed by baseline\n",
+		len(pkgs), len(diags), len(suppressed))
+
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonDoc is the -format json document. Checks records which analyzers
+// actually ran: a -checks subset that comes back clean must be
+// distinguishable from a full clean run when the artifact is read later.
+type jsonDoc struct {
+	Packages   int               `json:"packages"`
+	Checks     []string          `json:"checks"`
+	Findings   []lint.Diagnostic `json:"findings"`
+	Suppressed int               `json:"suppressed"`
+}
+
+func render(out io.Writer, format string, checks []*lint.Check, pkgs []*lint.Package, diags, suppressed []lint.Diagnostic) error {
+	switch format {
+	case "json":
+		doc := jsonDoc{
+			Packages:   len(pkgs),
+			Checks:     make([]string, len(checks)),
+			Findings:   diags,
+			Suppressed: len(suppressed),
+		}
+		for i, c := range checks {
+			doc.Checks[i] = c.Name
+		}
 		if doc.Findings == nil {
 			doc.Findings = []lint.Diagnostic{}
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
-			return 2
-		}
-		// When the JSON goes to a file (the CI-artifact path), keep the
-		// human-readable diagnostics on stderr so a failing run is
-		// debuggable without opening the artifact.
-		if *outFile != "" {
-			for _, d := range diags {
-				fmt.Fprintln(os.Stderr, d)
-			}
-			fmt.Fprintf(os.Stderr, "detlint: %d packages, %d findings\n", len(pkgs), len(diags))
-		}
-	} else {
+		return enc.Encode(doc)
+	case "sarif":
+		return lint.WriteSARIF(out, checks, diags)
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(out, d)
 		}
-		fmt.Fprintf(os.Stderr, "detlint: %d packages, %d findings\n", len(pkgs), len(diags))
+		return nil
 	}
-	if len(diags) > 0 {
-		return 1
-	}
-	return 0
 }
 
 // relativize rewrites absolute diagnostic paths relative to the module

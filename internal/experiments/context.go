@@ -234,7 +234,7 @@ func (c *Context) Study() (*core.StudyResult, error) {
 		c.studyErr = err
 		return nil, err
 	}
-	c.study, c.studyErr = st.Run(list)
+	c.study, c.studyErr = st.Run(list) //detlint:allow lockheld -- single-flight by design: concurrent callers must wait for the one study run
 	return c.study, c.studyErr
 }
 
@@ -260,7 +260,7 @@ func (c *Context) WarmStudy() (*core.WarmStudyResult, error) {
 		c.warmErr = err
 		return nil, err
 	}
-	c.warm, c.warmErr = st.RunWarm(list, core.WarmConfig{RevisitDelay: c.Cfg.RevisitDelay})
+	c.warm, c.warmErr = st.RunWarm(list, core.WarmConfig{RevisitDelay: c.Cfg.RevisitDelay}) //detlint:allow lockheld -- single-flight by design: concurrent callers must wait for the one warm run
 	return c.warm, c.warmErr
 }
 

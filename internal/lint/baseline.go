@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Baseline is a recorded multiset of accepted findings, used to adopt
+// detlint (or a new check) incrementally: pre-existing findings are
+// suppressed, anything new fails the build. Entries are keyed by a
+// line-number-free fingerprint — check name, file, and the message with
+// embedded file:line references normalized away — so unrelated edits
+// that shift line numbers do not invalidate the baseline, while a
+// genuinely new finding (different check, file, or message) surfaces.
+//
+// The fingerprint carries a count: two identical findings in one file
+// are two entries of the same multiset, so fixing one of them surfaces
+// nothing, but introducing a third fails.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one fingerprint with its accepted occurrence count.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// lineRefRe matches file:line references detlint embeds in messages
+// (chain positions like "taint.go:26"); they are stripped from
+// fingerprints so baselines survive line shifts.
+var lineRefRe = regexp.MustCompile(`\.go:\d+`)
+
+// Fingerprint returns the baseline key for a diagnostic.
+func Fingerprint(d Diagnostic) string {
+	return d.Check + "\x1f" + d.File + "\x1f" + lineRefRe.ReplaceAllString(d.Message, ".go")
+}
+
+func entryKey(e BaselineEntry) string {
+	return e.Check + "\x1f" + e.File + "\x1f" + lineRefRe.ReplaceAllString(e.Message, ".go")
+}
+
+// NewBaseline records the given diagnostics as the accepted set.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := make(map[string]int)
+	byKey := make(map[string]Diagnostic)
+	for _, d := range diags {
+		key := Fingerprint(d)
+		counts[key]++
+		if _, seen := byKey[key]; !seen {
+			byKey[key] = d
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	b := &Baseline{Findings: make([]BaselineEntry, 0, len(keys))}
+	for _, key := range keys {
+		d := byKey[key]
+		b.Findings = append(b.Findings, BaselineEntry{
+			Check:   d.Check,
+			File:    d.File,
+			Message: lineRefRe.ReplaceAllString(d.Message, ".go"),
+			Count:   counts[key],
+		})
+	}
+	return b
+}
+
+// Filter splits diagnostics into new findings (kept) and ones covered by
+// the baseline (suppressed). Each baseline entry suppresses at most
+// Count occurrences of its fingerprint; diagnostics beyond the budget —
+// or with no entry at all — are kept. Input order is preserved in both
+// halves.
+func (b *Baseline) Filter(diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[entryKey(e)] += e.Count
+	}
+	for _, d := range diags {
+		key := Fingerprint(d)
+		if budget[key] > 0 {
+			budget[key]--
+			suppressed = append(suppressed, d)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+// ReadBaseline loads a baseline file written by Write.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write renders the baseline as indented JSON, entries sorted by
+// fingerprint, so regenerating an unchanged baseline is a no-op diff.
+func (b *Baseline) Write(w io.Writer) error {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

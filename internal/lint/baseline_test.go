@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBaselineRoundTrip writes a baseline, reads it back, and asserts
+// the pre-existing findings are suppressed while an injected new finding
+// surfaces — the adopt-incrementally contract.
+func TestBaselineRoundTrip(t *testing.T) {
+	existing := sampleDiags()
+	b := NewBaseline(existing)
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recorded findings are fully suppressed.
+	kept, suppressed := loaded.Filter(existing)
+	if len(kept) != 0 {
+		t.Errorf("baseline failed to suppress its own findings: kept %v", kept)
+	}
+	if len(suppressed) != len(existing) {
+		t.Errorf("suppressed = %d, want %d", len(suppressed), len(existing))
+	}
+
+	// An injected new finding surfaces alongside them.
+	injected := Diagnostic{Check: "gorleak", File: "internal/webserve/webserve.go", Line: 51, Col: 2,
+		Message: "goroutine has no join or cancel path reachable from webserve.(*Server).Start"}
+	kept, _ = loaded.Filter(append(existing[:len(existing):len(existing)], injected))
+	if len(kept) != 1 || kept[0].Check != "gorleak" {
+		t.Errorf("injected finding did not surface: kept = %v", kept)
+	}
+}
+
+// TestBaselineLineShift asserts fingerprints ignore line numbers — both
+// the diagnostic's own position and file:line references embedded in the
+// message (taint chain positions) — so unrelated edits that shift code
+// do not invalidate the baseline.
+func TestBaselineLineShift(t *testing.T) {
+	orig := sampleDiags()
+	b := NewBaseline(orig)
+
+	shifted := make([]Diagnostic, len(orig))
+	copy(shifted, orig)
+	for i := range shifted {
+		shifted[i].Line += 40
+		shifted[i].Message = lineRefRe.ReplaceAllString(shifted[i].Message, ".go:999")
+	}
+	kept, _ := b.Filter(shifted)
+	if len(kept) != 0 {
+		t.Errorf("line-shifted findings must stay suppressed, kept %v", kept)
+	}
+}
+
+// TestBaselineCounts asserts the multiset semantics: a baseline with two
+// identical findings suppresses exactly two occurrences — a third fails.
+func TestBaselineCounts(t *testing.T) {
+	d := Diagnostic{Check: "errdrop", File: "a.go", Line: 1, Col: 1, Message: "dropped error"}
+	b := NewBaseline([]Diagnostic{d, d})
+	if len(b.Findings) != 1 || b.Findings[0].Count != 2 {
+		t.Fatalf("baseline = %+v, want one entry with count 2", b.Findings)
+	}
+	kept, suppressed := b.Filter([]Diagnostic{d, d, d})
+	if len(suppressed) != 2 || len(kept) != 1 {
+		t.Errorf("kept %d suppressed %d, want 1/2", len(kept), len(suppressed))
+	}
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// blockState holds the graph-propagated concurrency facts shared by the
+// gorleak and lockheld checks:
+//
+//   - mayBlock: the function (or something it transitively calls inside
+//     the module) performs a channel operation, select, or Wait — it can
+//     park the calling goroutine indefinitely.
+//   - mayWait: the function transitively calls a Wait() method — it can
+//     serve as the join point for spawned goroutines.
+//   - acquires: the set of cross-function lock identities ("pkg.Type.field"
+//     or "pkg.var") the function may lock, directly or transitively.
+//
+// All three are over-approximations on the same deliberately
+// conservative graph the taint check uses.
+type blockState struct {
+	mayBlock map[*FuncNode]bool
+	mayWait  map[*FuncNode]bool
+	acquires map[*FuncNode]map[string]bool
+}
+
+func (g *Graph) blockState() *blockState {
+	if g.blocky != nil {
+		return g.blocky
+	}
+	st := &blockState{
+		mayBlock: make(map[*FuncNode]bool),
+		mayWait:  make(map[*FuncNode]bool),
+		acquires: make(map[*FuncNode]map[string]bool),
+	}
+	for _, n := range g.sorted {
+		blocks, waits := directBlockFacts(n)
+		st.mayBlock[n] = blocks
+		st.mayWait[n] = waits
+		acq := make(map[string]bool)
+		for _, l := range lockSitesIn(n) {
+			if l.key != "" {
+				acq[l.key] = true
+			}
+		}
+		st.acquires[n] = acq
+	}
+	// Propagate to a fixpoint with deterministic sweeps. The facts only
+	// grow, so termination is bounded by nodes × keys.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.sorted {
+			for _, cs := range n.Calls {
+				if st.mayBlock[cs.Callee] && !st.mayBlock[n] {
+					st.mayBlock[n] = true
+					changed = true
+				}
+				if st.mayWait[cs.Callee] && !st.mayWait[n] {
+					st.mayWait[n] = true
+					changed = true
+				}
+				for key := range st.acquires[cs.Callee] {
+					if !st.acquires[n][key] {
+						st.acquires[n][key] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	g.blocky = st
+	return st
+}
+
+// directBlockFacts scans a function body for blocking operations and
+// Wait calls performed directly (function literals included).
+func directBlockFacts(n *FuncNode) (blocks, waits bool) {
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			blocks = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				blocks = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					blocks = true
+				}
+			}
+		case *ast.CallExpr:
+			if _, name, ok := methodCall(info, node); ok && name == "Wait" {
+				blocks = true
+				waits = true
+			}
+		}
+		return true
+	})
+	return blocks, waits
+}
+
+// lockSite is one direct mutex acquisition: the statement, the lock
+// expression's textual form within the function ("s.mu"), and its
+// cross-function identity key ("" when the mutex is a local variable,
+// which has no identity outside the function).
+type lockSite struct {
+	stmt    *ast.ExprStmt
+	call    *ast.CallExpr
+	exprStr string
+	key     string
+	rlock   bool
+}
+
+// lockSitesIn finds every direct x.Lock()/x.RLock() statement on a
+// sync.Mutex or sync.RWMutex in the function body.
+func lockSitesIn(n *FuncNode) []lockSite {
+	var out []lockSite
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		es, ok := node.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if site, ok := lockSiteOf(n, es); ok {
+			out = append(out, site)
+		}
+		return true
+	})
+	return out
+}
+
+// lockIdentity derives a cross-function identity for a mutex expression:
+// "pkgpath.Type.field" for a field of a named type, "pkgpath.var" for a
+// package-level variable, "" otherwise (local variables cannot be
+// matched across functions).
+func lockIdentity(n *FuncNode, x ast.Expr) string {
+	info := n.Pkg.Info
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		tv, ok := info.Types[x.X]
+		if !ok {
+			return ""
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return ""
+		}
+		return obj.Pkg().Path() + "." + obj.Name() + "." + x.Sel.Name
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		// Package-scope variables have the package scope as parent.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// unlocksSame reports whether the AST subtree contains a call to
+// Unlock/RUnlock on the same lock expression.
+func unlocksSame(node ast.Node, exprStr string) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+			return true
+		}
+		if exprString(sel.X) == exprStr {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GorleakCheck flags `go` statements with no join or cancel path
+// reachable from the spawner. A goroutine whose lifetime nothing bounds
+// outlives the run that spawned it: it keeps mutating shared state (or
+// holding sockets) after results are collected, which is both a leak and
+// a scheduling-dependent source of nondeterminism.
+//
+// A spawn is considered joined when the spawning function — outside any
+// goroutine body — receives from a channel, ranges over one, selects,
+// closes a channel (the cancel idiom), or calls a Wait method; or when
+// any function the spawner calls (transitively, over the module call
+// graph) calls a Wait method, covering helpers that encapsulate the
+// join. Deliberate daemon goroutines (a server's accept loop bounded by
+// its Close method) are annotated //detlint:allow gorleak.
+var GorleakCheck = &Check{
+	Name: "gorleak",
+	Doc:  "flag goroutines launched without a join or cancel path reachable from the spawner",
+	Run:  runGorleak,
+}
+
+func runGorleak(p *Pass) {
+	st := p.Graph.blockState()
+	for _, n := range p.Graph.sorted {
+		if n.Pkg != p.Pkg {
+			continue
+		}
+		spawns := goStmtsIn(n)
+		if len(spawns) == 0 {
+			continue
+		}
+		spans := goSpans(spawns)
+		if spawnerJoins(n, spans) || calleeJoins(n, st, spans) {
+			continue
+		}
+		for _, g := range spawns {
+			p.Reportf(g.Pos(),
+				"goroutine has no join or cancel path reachable from %s: the spawner neither waits, receives, selects, nor closes a channel, and no callee joins for it; bound the goroutine's lifetime", n.Name())
+		}
+	}
+}
+
+// goStmtsIn collects every go statement in the function body.
+func goStmtsIn(n *FuncNode) []*ast.GoStmt {
+	var out []*ast.GoStmt
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if g, ok := node.(*ast.GoStmt); ok {
+			out = append(out, g)
+		}
+		return true
+	})
+	return out
+}
+
+type posSpan struct{ lo, hi token.Pos }
+
+func (s posSpan) contains(p token.Pos) bool { return p >= s.lo && p <= s.hi }
+
+func goSpans(spawns []*ast.GoStmt) []posSpan {
+	out := make([]posSpan, len(spawns))
+	for i, g := range spawns {
+		out[i] = posSpan{g.Pos(), g.End()}
+	}
+	return out
+}
+
+func inAnySpan(spans []posSpan, p token.Pos) bool {
+	for _, s := range spans {
+		if s.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnerJoins reports whether the spawner's own body — outside every
+// goroutine subtree — contains a join or cancel operation.
+func spawnerJoins(n *FuncNode, spans []posSpan) bool {
+	info := n.Pkg.Info
+	joined := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if joined || node == nil {
+			return false
+		}
+		if inAnySpan(spans, node.Pos()) {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.SelectStmt:
+			joined = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "close" {
+				joined = true
+			}
+			if _, name, ok := methodCall(info, node); ok && name == "Wait" {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+// calleeJoins reports whether any function called from the spawner's
+// body (outside goroutine subtrees) transitively calls a Wait method —
+// the encapsulated-join helper pattern.
+func calleeJoins(n *FuncNode, st *blockState, spans []posSpan) bool {
+	for _, cs := range n.Calls {
+		if cs.Callee == n || inAnySpan(spans, cs.Pos) {
+			continue
+		}
+		if st.mayWait[cs.Callee] {
+			return true
+		}
+	}
+	return false
+}

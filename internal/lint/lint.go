@@ -60,10 +60,15 @@ type Check struct {
 
 // Pass carries everything one check needs to analyze one package and
 // report findings. Reportf applies the allow-directive filter, so checks
-// never see suppression logic.
+// never see suppression logic. Interprocedural checks additionally use
+// Graph (the module-wide call graph) and Ran (the names of every check
+// in this invocation, which staleallow needs to judge directives
+// fairly).
 type Pass struct {
 	Check *Check
 	Pkg   *Package
+	Graph *Graph
+	Ran   []string
 
 	diags *[]Diagnostic
 }
@@ -88,7 +93,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// Checks returns the full analyzer suite in stable order.
+// Checks returns the full analyzer suite in stable order. The
+// syntactic checks come first, then the interprocedural ones;
+// staleallow is last because it judges the suppression usage the
+// other checks record as they run.
 func Checks() []*Check {
 	return []*Check{
 		WalltimeCheck,
@@ -97,6 +105,10 @@ func Checks() []*Check {
 		EnvreadCheck,
 		ErrdropCheck,
 		MutexcopyCheck,
+		TaintCheck,
+		GorleakCheck,
+		LockheldCheck,
+		StaleallowCheck,
 	}
 }
 
@@ -112,11 +124,20 @@ func CheckByName(name string) *Check {
 
 // Run executes the given checks over the given packages and returns the
 // combined diagnostics sorted by file, line, column, and check name.
+// The module call graph is built once and shared by every
+// interprocedural check; the whole pipeline is single-threaded and
+// iterates in sorted order, so identical inputs produce byte-identical
+// diagnostics regardless of GOMAXPROCS.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	graph := BuildGraph(pkgs)
+	ran := make([]string, len(checks))
+	for i, c := range checks {
+		ran[i] = c.Name
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, c := range checks {
-			pass := &Pass{Check: c, Pkg: pkg, diags: &diags}
+			pass := &Pass{Check: c, Pkg: pkg, Graph: graph, Ran: ran, diags: &diags}
 			c.Run(pass)
 		}
 	}
@@ -136,20 +157,24 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 	return diags
 }
 
-// allowDirective is one parsed //detlint:allow comment.
+// allowDirective is one parsed //detlint:allow comment. used records
+// whether the directive suppressed at least one finding this run —
+// the staleallow check reports directives whose usage never registers.
 type allowDirective struct {
 	file      string
-	line      int  // line the directive sits on
-	fileLevel bool // directive in the package doc block: whole-file scope
+	line      int       // line the directive sits on
+	pos       token.Pos // for reporting staleness at the directive
+	fileLevel bool      // directive in the package doc block: whole-file scope
 	checks    map[string]bool
+	used      bool
 }
 
 // parseAllows extracts //detlint:allow directives from a parsed file.
 // A directive in the file's doc block (any comment that ends before the
 // package keyword) applies to the whole file; any other directive applies
 // to its own line and the line directly below it.
-func parseAllows(fset *token.FileSet, f *ast.File) []allowDirective {
-	var out []allowDirective
+func parseAllows(fset *token.FileSet, f *ast.File) []*allowDirective {
+	var out []*allowDirective
 	pkgLine := fset.Position(f.Package).Line
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -175,9 +200,10 @@ func parseAllows(fset *token.FileSet, f *ast.File) []allowDirective {
 				}
 			}
 			pos := fset.Position(c.Pos())
-			out = append(out, allowDirective{
+			out = append(out, &allowDirective{
 				file:      pos.Filename,
 				line:      pos.Line,
+				pos:       c.Pos(),
 				fileLevel: pos.Line < pkgLine,
 				checks:    checks,
 			})
@@ -187,13 +213,15 @@ func parseAllows(fset *token.FileSet, f *ast.File) []allowDirective {
 }
 
 // allowed reports whether a diagnostic from check at position is
-// suppressed by a directive in the package.
+// suppressed by a directive in the package, marking the directive used
+// so staleallow can tell live suppressions from rot.
 func (p *Package) allowed(check string, pos token.Position) bool {
 	for _, d := range p.allows {
 		if d.file != pos.Filename || !d.checks[check] {
 			continue
 		}
 		if d.fileLevel || d.line == pos.Line || d.line == pos.Line-1 {
+			d.used = true
 			return true
 		}
 	}

@@ -9,24 +9,33 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"strings"
 	"testing"
 )
 
-// goldenCases maps each testdata/src directory to the check it
+// goldenCases maps each testdata/src directory to the checks it
 // exercises and the synthetic import path the package is loaded under
-// (path-scoped rules — internal/, vclock exemptions — key off it).
+// (path-scoped rules — internal/, vclock exemptions — key off it; the
+// interprocedural fixtures load under their own base name so call-chain
+// renderings like "taint.emit → taint.stamp" match the source).
+// staleallow runs alongside walltime because it judges directives only
+// for checks that actually ran.
 var goldenCases = []struct {
-	dir   string
-	check *Check
-	path  string
+	dir    string
+	checks []*Check
+	path   string
 }{
-	{"walltime", WalltimeCheck, "repro/internal/walltimetest"},
-	{"globalrand", GlobalrandCheck, "repro/internal/globalrandtest"},
-	{"maporder", MaporderCheck, "repro/internal/maporder"},
-	{"envread", EnvreadCheck, "repro/internal/envreadtest"},
-	{"errdrop", ErrdropCheck, "repro/internal/errdroptest"},
-	{"mutexcopy", MutexcopyCheck, "repro/internal/mutexcopytest"},
+	{"walltime", []*Check{WalltimeCheck}, "repro/internal/walltimetest"},
+	{"globalrand", []*Check{GlobalrandCheck}, "repro/internal/globalrandtest"},
+	{"maporder", []*Check{MaporderCheck}, "repro/internal/maporder"},
+	{"envread", []*Check{EnvreadCheck}, "repro/internal/envreadtest"},
+	{"errdrop", []*Check{ErrdropCheck}, "repro/internal/errdroptest"},
+	{"mutexcopy", []*Check{MutexcopyCheck}, "repro/internal/mutexcopytest"},
+	{"taint", []*Check{TaintCheck}, "repro/internal/taint"},
+	{"gorleak", []*Check{GorleakCheck}, "repro/internal/gorleak"},
+	{"lockheld", []*Check{LockheldCheck}, "repro/internal/lockheld"},
+	{"staleallow", []*Check{WalltimeCheck, StaleallowCheck}, "repro/internal/staleallowtest"},
 }
 
 // wantRe matches expected-diagnostic comments: // want `regexp` or
@@ -129,7 +138,7 @@ func TestGolden(t *testing.T) {
 		t.Run(tc.dir, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", tc.dir)
 			pkg := loadTestPkg(t, fset, std, dir, tc.path)
-			diags := Run([]*Package{pkg}, []*Check{tc.check})
+			diags := Run([]*Package{pkg}, tc.checks)
 			wants := wantsIn(t, dir)
 
 			matched := make(map[string]int)
@@ -221,5 +230,48 @@ func TestModuleIsClean(t *testing.T) {
 	diags := Run(pkgs, Checks())
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+}
+
+// renderFixtureSuite loads every golden fixture from scratch (fresh
+// FileSet, fresh importer, fresh type-check) and runs the full check
+// suite over all of them at once, returning the rendered diagnostics as
+// one string. Each call rebuilds everything, so two calls agreeing
+// byte-for-byte means the pipeline's ordering is intrinsic, not an
+// accident of reused state.
+func renderFixtureSuite(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, tc := range goldenCases {
+		dir := filepath.Join("testdata", "src", tc.dir)
+		pkgs = append(pkgs, loadTestPkg(t, fset, std, dir, tc.path))
+	}
+	var sb strings.Builder
+	for _, d := range Run(pkgs, Checks()) {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestAnalyzerDeterminism asserts the analyzer's own output contract:
+// byte-identical diagnostics across repeated runs and across GOMAXPROCS
+// settings. The pipeline is single-threaded by construction, but this
+// test pins that down so a future parallel package loader cannot
+// silently reorder findings.
+func TestAnalyzerDeterminism(t *testing.T) {
+	first := renderFixtureSuite(t)
+	if first == "" {
+		t.Fatal("fixture suite produced no diagnostics; determinism comparison is vacuous")
+	}
+	if again := renderFixtureSuite(t); again != first {
+		t.Errorf("repeated run diverged:\n--- first ---\n%s--- second ---\n%s", first, again)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if serial := renderFixtureSuite(t); serial != first {
+		t.Errorf("GOMAXPROCS=1 run diverged:\n--- parallel ---\n%s--- serial ---\n%s", first, serial)
 	}
 }

@@ -24,7 +24,7 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	allows []allowDirective
+	allows []*allowDirective
 }
 
 // LoadError marks a failure to parse or type-check the module — the

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockheldCheck flags mutexes held across operations that can park or
+// deadlock the holder:
+//
+//   - a channel operation, select, or Wait performed directly inside the
+//     held region — the goroutine parks while every other worker
+//     contending for the lock parks behind it;
+//   - a call whose callee (transitively, over the module call graph) may
+//     block the same way;
+//   - a call whose callee may acquire the same lock again — sync.Mutex
+//     is not reentrant, so the path self-deadlocks.
+//
+// The held region is computed syntactically: from x.Lock() to the first
+// statement containing x.Unlock() in the same block, or to the end of
+// the block when the unlock is deferred. Function literals inside the
+// region are skipped — they run later, not under the lock. Intentional
+// hold-across-blocking patterns (a lazy-build cache that single-flights
+// an expensive computation) are annotated //detlint:allow lockheld.
+var LockheldCheck = &Check{
+	Name: "lockheld",
+	Doc:  "flag mutexes held across blocking operations or calls that may re-acquire the same lock",
+	Run:  runLockheld,
+}
+
+func runLockheld(p *Pass) {
+	st := p.Graph.blockState()
+	for _, n := range p.Graph.sorted {
+		if n.Pkg != p.Pkg {
+			continue
+		}
+		checkHeldRegions(p, st, n)
+	}
+}
+
+func checkHeldRegions(p *Pass, st *blockState, n *FuncNode) {
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		block, ok := node.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			site, ok := lockSiteOf(n, es)
+			if !ok {
+				continue
+			}
+			region := heldRegion(block.List[i+1:], site.exprStr)
+			scanHeldRegion(p, st, n, site, region)
+		}
+		return true
+	})
+}
+
+// lockSiteOf matches one statement against the x.Lock()/x.RLock() shape.
+func lockSiteOf(n *FuncNode, es *ast.ExprStmt) (lockSite, bool) {
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return lockSite{}, false
+	}
+	recv, name, ok := methodCall(n.Pkg.Info, call)
+	if !ok || (name != "Lock" && name != "RLock") {
+		return lockSite{}, false
+	}
+	if !namedIn(recv, "sync", "Mutex", "RWMutex") {
+		return lockSite{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockSite{}, false
+	}
+	str := exprString(sel.X)
+	if str == "" {
+		return lockSite{}, false
+	}
+	return lockSite{
+		stmt:    es,
+		call:    call,
+		exprStr: str,
+		key:     lockIdentity(n, sel.X),
+		rlock:   name == "RLock",
+	}, true
+}
+
+// heldRegion returns the statements following the lock that execute with
+// it held: up to (but excluding) the first statement containing the
+// matching unlock, or the whole tail when the unlock is deferred (the
+// lock is then held to function exit; the rest of the block is the
+// visible approximation).
+func heldRegion(tail []ast.Stmt, exprStr string) []ast.Stmt {
+	for i, stmt := range tail {
+		if ds, ok := stmt.(*ast.DeferStmt); ok && unlocksSame(ds, exprStr) {
+			return append(tail[:i:i], tail[i+1:]...)
+		}
+		if unlocksSame(stmt, exprStr) {
+			return tail[:i]
+		}
+	}
+	return tail
+}
+
+// scanHeldRegion reports blocking operations and same-lock re-entry
+// hazards inside one held region.
+func scanHeldRegion(p *Pass, st *blockState, n *FuncNode, site lockSite, region []ast.Stmt) {
+	if len(region) == 0 {
+		return
+	}
+	info := n.Pkg.Info
+	lo, hi := region[0].Pos(), region[len(region)-1].End()
+
+	// Function-literal subtrees run outside the held region.
+	var litSpans []posSpan
+	for _, stmt := range region {
+		ast.Inspect(stmt, func(node ast.Node) bool {
+			if lit, ok := node.(*ast.FuncLit); ok {
+				litSpans = append(litSpans, posSpan{lit.Pos(), lit.End()})
+				return false
+			}
+			return true
+		})
+	}
+
+	for _, stmt := range region {
+		ast.Inspect(stmt, func(node ast.Node) bool {
+			if node == nil || inAnySpan(litSpans, node.Pos()) {
+				return false
+			}
+			switch node := node.(type) {
+			case *ast.SendStmt:
+				p.Reportf(node.Pos(), "channel send while holding %s parks the goroutine with the lock held; move the send outside the critical section", site.exprStr)
+			case *ast.SelectStmt:
+				p.Reportf(node.Pos(), "select while holding %s can park the goroutine with the lock held; move it outside the critical section", site.exprStr)
+			case *ast.UnaryExpr:
+				if node.Op == token.ARROW {
+					p.Reportf(node.Pos(), "channel receive while holding %s parks the goroutine with the lock held; move the receive outside the critical section", site.exprStr)
+				}
+			case *ast.CallExpr:
+				if _, name, ok := methodCall(info, node); ok && name == "Wait" {
+					p.Reportf(node.Pos(), "Wait while holding %s parks the goroutine with the lock held; unlock first", site.exprStr)
+				}
+			}
+			return true
+		})
+	}
+
+	// Calls out of the region, via the graph: re-entry and transitive
+	// blocking. n.Calls is in source order, so reports are deterministic.
+	reported := map[token.Pos]bool{}
+	for _, cs := range n.Calls {
+		if cs.Pos < lo || cs.Pos > hi || inAnySpan(litSpans, cs.Pos) || reported[cs.Pos] {
+			continue
+		}
+		if site.key != "" && st.acquires[cs.Callee][site.key] && !site.rlock {
+			reported[cs.Pos] = true
+			p.Reportf(cs.Pos,
+				"call to %s while holding %s may re-acquire the same lock (%s); sync.Mutex is not reentrant — this path self-deadlocks", cs.Callee.Name(), site.exprStr, site.key)
+			continue
+		}
+		if st.mayBlock[cs.Callee] {
+			reported[cs.Pos] = true
+			p.Reportf(cs.Pos,
+				"call to %s while holding %s may block on a channel or Wait, stalling every goroutine contending for the lock; shrink the critical section", cs.Callee.Name(), site.exprStr)
+		}
+	}
+}

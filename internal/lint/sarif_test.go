@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{Check: "walltime", File: "internal/core/study.go", Line: 12, Col: 7,
+			Message: "time.Now is nondeterministic; thread a vclock.Clock instead"},
+		{Check: "taint", File: "cmd/webmeasure/main.go", Line: 131, Col: 11,
+			Message: "webmeasure.writeHARs reads time.Now (walltime at main.go:131): a → b"},
+		{Check: "taint", File: "cmd/webmeasure/main.go", Line: 140, Col: 2,
+			Message: "webmeasure.writeHARs reads time.Now (walltime at main.go:131): a → b"},
+	}
+}
+
+// TestSARIFShape unmarshals the writer's output and asserts the SARIF
+// 2.1.0 structure GitHub code scanning requires: version, schema, one
+// run with a named driver, a rule per check, and results whose physical
+// locations carry %SRCROOT%-based uris and 1-based regions.
+func TestSARIFShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, Checks(), sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", doc.Version)
+	}
+	if !strings.Contains(doc.Schema, "sarif-2.1.0") {
+		t.Errorf("$schema = %q does not reference sarif-2.1.0", doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "detlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(Checks()) {
+		t.Errorf("rules = %d, want one per check (%d)", len(run.Tool.Driver.Rules), len(Checks()))
+	}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v missing id or shortDescription", r)
+		}
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "walltime" || res.Level != "error" || res.Message.Text == "" {
+		t.Errorf("result[0] = %+v", res)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/study.go" || loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+		t.Errorf("artifactLocation = %+v", loc.ArtifactLocation)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+}
+
+// TestSARIFDeterministic asserts two renderings of the same findings are
+// byte-identical — the document is diffable and cacheable in CI.
+func TestSARIFDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteSARIF(&a, Checks(), sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSARIF(&b, Checks(), sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("SARIF output differs between identical runs")
+	}
+}

@@ -1,0 +1,72 @@
+package lint
+
+import "sort"
+
+// StaleallowCheck reports suppression rot: //detlint:allow directives
+// that no longer suppress any finding, and directives naming checks
+// that do not exist. A stale allow is latent risk — the justified
+// exception it once covered is gone, but the silence it grants remains,
+// so a future regression at the same site would be invisibly excused.
+//
+// A directive is judged only when every check it names actually ran in
+// this invocation (a -checks subset must not condemn directives for
+// checks it skipped), and directives naming staleallow itself are
+// exempt, since suppressing a staleness report is the one use that can
+// never register as a suppression.
+var StaleallowCheck = &Check{
+	Name: "staleallow",
+	Doc:  "flag //detlint:allow directives that suppress no findings or name unknown checks",
+}
+
+// Run is attached in init: runStaleallow consults CheckByName, which
+// walks Checks(), which contains StaleallowCheck — a static assignment
+// would be an initialization cycle.
+func init() { StaleallowCheck.Run = runStaleallow }
+
+// runStaleallow must run after every other requested check has visited
+// the package: Checks() orders it last, and Run executes the full check
+// list per package before moving on.
+func runStaleallow(p *Pass) {
+	ran := make(map[string]bool, len(p.Ran))
+	for _, name := range p.Ran {
+		ran[name] = true
+	}
+	for _, d := range p.Pkg.allows {
+		if d.checks["staleallow"] {
+			continue
+		}
+		names := make([]string, 0, len(d.checks))
+		for name := range d.checks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+
+		judgeable := true
+		for _, name := range names {
+			if CheckByName(name) == nil {
+				p.Reportf(d.pos, "//detlint:allow names unknown check %q (use detlint -list)", name)
+				judgeable = false
+				continue
+			}
+			if !ran[name] {
+				judgeable = false
+			}
+		}
+		if !judgeable || d.used {
+			continue
+		}
+		p.Reportf(d.pos,
+			"//detlint:allow %s suppresses no findings; the exception it covered is gone — remove the directive", joinNames(names))
+	}
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// TaintCheck is the interprocedural determinism check: it walks the
+// module call graph looking for call paths that connect a nondeterminism
+// source to an artifact sink, in either of the two shapes a purely
+// syntactic check cannot see:
+//
+//   - an artifact writer whose call path (transitively) reads a source —
+//     the helper-wraps-time.Now() case, any number of calls deep;
+//   - a function that reads a source itself and then calls (transitively)
+//     into an artifact writer, where the tainted value can ride along as
+//     an argument or receiver field.
+//
+// Sources are wall-clock reads (time.Now and friends — including inside
+// internal/vclock, so vclock.Wall taint is tracked to wherever it
+// flows), process-global math/rand draws, and functions returning slices
+// built in map-iteration order. Sinks are the module's artifact
+// emission primitives: encoding/csv writer methods, encoding/json
+// Encoder.Encode, and os.WriteFile.
+//
+// The check is reachability-based, not value-flow-based: it proves a
+// call chain exists, not that the nondeterministic value reaches the
+// bytes written. Paths where the value provably stays out of the
+// artifact (operator banners, telemetry) are justified in-source with
+// //detlint:allow taint.
+var TaintCheck = &Check{
+	Name: "taint",
+	Doc:  "flag call paths connecting nondeterminism sources (wall clock, global RNG, map order) to artifact sinks (CSV/HAR/JSON writers)",
+	Run:  runTaint,
+}
+
+// taintSite is one direct source or sink occurrence inside a function.
+type taintSite struct {
+	Kind string // source: "walltime", "globalrand", "maporder"; sink: "csv", "json", "file"
+	Desc string // e.g. "time.Now", "csv.Writer.WriteAll"
+	Pos  token.Pos
+}
+
+// taintState caches the module-wide taint computation on the graph.
+type taintState struct {
+	srcSites  map[*FuncNode][]taintSite
+	sinkSites map[*FuncNode][]taintSite
+	srcDist   map[*FuncNode]int
+	srcNext   map[*FuncNode]CallSite
+	sinkDist  map[*FuncNode]int
+	sinkNext  map[*FuncNode]CallSite
+}
+
+func (g *Graph) taintState() *taintState {
+	if g.taint != nil {
+		return g.taint
+	}
+	st := &taintState{
+		srcSites:  make(map[*FuncNode][]taintSite),
+		sinkSites: make(map[*FuncNode][]taintSite),
+	}
+	for _, n := range g.sorted {
+		if sites := directSources(n); len(sites) > 0 {
+			st.srcSites[n] = sites
+		}
+		if sites := directSinks(n); len(sites) > 0 {
+			st.sinkSites[n] = sites
+		}
+	}
+	st.srcDist, st.srcNext = reachability(g.sorted, func(n *FuncNode) bool {
+		return len(st.srcSites[n]) > 0
+	})
+	st.sinkDist, st.sinkNext = reachability(g.sorted, func(n *FuncNode) bool {
+		return len(st.sinkSites[n]) > 0
+	})
+	g.taint = st
+	return st
+}
+
+// directSources collects the nondeterminism reads performed directly in
+// the function's body (function literals included).
+func directSources(n *FuncNode) []taintSite {
+	info := n.Pkg.Info
+	var sites []taintSite
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pkgFunc(info, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkg == "time" && wallFuncs[name]:
+			sites = append(sites, taintSite{Kind: "walltime", Desc: "time." + name, Pos: call.Pos()})
+		case (pkg == "math/rand" || pkg == "math/rand/v2") && globalRandFuncs[name]:
+			sites = append(sites, taintSite{Kind: "globalrand", Desc: "rand." + name, Pos: call.Pos()})
+		}
+		return true
+	})
+	sites = append(sites, mapOrderedReturns(n)...)
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Pos < sites[j].Pos })
+	return sites
+}
+
+// directSinks collects the artifact emission calls performed directly in
+// the function's body.
+func directSinks(n *FuncNode) []taintSite {
+	info := n.Pkg.Info
+	var sites []taintSite
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := pkgFunc(info, call); ok {
+			if pkg == "os" && name == "WriteFile" {
+				sites = append(sites, taintSite{Kind: "file", Desc: "os.WriteFile", Pos: call.Pos()})
+			}
+			return true
+		}
+		recv, name, ok := methodCall(info, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case namedIn(recv, "encoding/csv", "Writer") && (name == "Write" || name == "WriteAll"):
+			sites = append(sites, taintSite{Kind: "csv", Desc: "csv.Writer." + name, Pos: call.Pos()})
+		case namedIn(recv, "encoding/json", "Encoder") && name == "Encode":
+			sites = append(sites, taintSite{Kind: "json", Desc: "json.Encoder.Encode", Pos: call.Pos()})
+		}
+		return true
+	})
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Pos < sites[j].Pos })
+	return sites
+}
+
+// mapOrderedReturns flags functions that build a slice by appending
+// inside a range-over-map loop and return that slice without sorting it:
+// the returned order is nondeterministic, and — unlike the syntactic
+// maporder check — the damage surfaces only in whoever consumes it, so
+// it is modeled as a taint source.
+func mapOrderedReturns(n *FuncNode) []taintSite {
+	info := n.Pkg.Info
+
+	// Objects returned by the function.
+	returned := make(map[token.Pos]bool) // declaration positions of returned idents
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		ret, ok := node.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := res.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					returned[obj.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(returned) == 0 {
+		return nil
+	}
+
+	var sites []taintSite
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		rs, ok := node.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !rangesOverMap(info, rs) {
+			return true
+		}
+		ast.Inspect(rs.Body, func(inner ast.Node) bool {
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" || len(call.Args) < 2 {
+				return true
+			}
+			dest, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[dest]
+			if obj == nil || !returned[obj.Pos()] {
+				return true
+			}
+			if sortedInFunc(n, dest.Name) {
+				return true
+			}
+			sites = append(sites, taintSite{
+				Kind: "maporder",
+				Desc: "map-iteration-ordered return of " + dest.Name,
+				Pos:  call.Pos(),
+			})
+			return true
+		})
+		return true
+	})
+	return sites
+}
+
+func rangesOverMap(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// sortedInFunc reports whether the named slice is passed to a
+// sort/slices sorting function anywhere in the function body.
+func sortedInFunc(n *FuncNode, name string) bool {
+	found := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		pkg, fn, ok := pkgFunc(n.Pkg.Info, call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		if !sortFuncNames[fn] {
+			return true
+		}
+		if exprString(call.Args[0]) == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+var sortFuncNames = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true, "Strings": true,
+	"Ints": true, "Float64s": true, "Slice": true, "SliceStable": true, "Stable": true,
+}
+
+func runTaint(p *Pass) {
+	st := p.Graph.taintState()
+	for _, n := range p.Graph.sorted {
+		if n.Pkg != p.Pkg {
+			continue
+		}
+		// Shape 1: an artifact writer whose call path reads a source.
+		if sinks := st.sinkSites[n]; len(sinks) > 0 {
+			if _, tainted := st.srcDist[n]; tainted {
+				names := chain(n, st.srcDist, st.srcNext)
+				srcNode := chainEnd(n, st.srcDist, st.srcNext)
+				src := st.srcSites[srcNode][0]
+				pos := src.Pos
+				if st.srcDist[n] > 0 {
+					pos = st.srcNext[n].Pos
+				}
+				p.Reportf(pos,
+					"%s emits an artifact via %s but its call path reads %s (%s at %s): %s",
+					n.Name(), sinks[0].Desc, src.Desc, src.Kind,
+					shortPos(p.Fset(), src.Pos), strings.Join(names, " → "))
+			}
+		}
+		// Shape 2: a function that reads a source itself and calls into
+		// an artifact writer. Distance 0 means the function is its own
+		// writer; shape 1 already covers that.
+		if srcs := st.srcSites[n]; len(srcs) > 0 {
+			if d, reaches := st.sinkDist[n]; reaches && d > 0 {
+				names := chain(n, st.sinkDist, st.sinkNext)
+				sinkNode := chainEnd(n, st.sinkDist, st.sinkNext)
+				sink := st.sinkSites[sinkNode][0]
+				p.Reportf(srcs[0].Pos,
+					"%s reads %s (%s) and reaches artifact writer %s (%s at %s): %s",
+					n.Name(), srcs[0].Desc, srcs[0].Kind, sinkNode.Name(),
+					sink.Desc, shortPos(p.Fset(), sink.Pos), strings.Join(names, " → "))
+			}
+		}
+	}
+}
+
+// chainEnd follows next pointers from n to the chain's terminal node.
+func chainEnd(n *FuncNode, dist map[*FuncNode]int, next map[*FuncNode]CallSite) *FuncNode {
+	for dist[n] > 0 {
+		cs, ok := next[n]
+		if !ok {
+			return n
+		}
+		n = cs.Callee
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+// Package gorleak exercises the unjoined-goroutine check.
+package gorleak
+
+import "sync"
+
+func work() {}
+
+// leak spawns and forgets: nothing in the spawner bounds the goroutine's
+// lifetime.
+func leak() {
+	go work() // want `goroutine has no join or cancel path reachable from gorleak.leak`
+}
+
+// joined uses the canonical WaitGroup join.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// chanJoined receives the completion signal.
+func chanJoined() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// cancelled closes the stop channel the goroutine selects on: a cancel
+// path counts as bounding the lifetime.
+func cancelled(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+	close(stop)
+}
+
+// helperJoined delegates the join to a callee: the graph's mayWait fact
+// covers the encapsulated-join helper pattern.
+func helperJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	join(&wg)
+}
+
+func join(wg *sync.WaitGroup) { wg.Wait() }
+
+// selfWaitDoesNotJoin shows the merging hazard: the Wait lives inside
+// the goroutine body, so it joins nothing for the spawner.
+func selfWaitDoesNotJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine has no join or cancel path reachable from gorleak.selfWaitDoesNotJoin`
+		wg.Wait()
+	}()
+}
+
+// daemonAllowed is the sanctioned escape hatch for deliberate daemons.
+func daemonAllowed() {
+	//detlint:allow gorleak -- fixture: daemon goroutine, lifetime bound by the process
+	go work()
+}

@@ -1,0 +1,86 @@
+// Package lockheld exercises the mutex-held-across-blocking check.
+package lockheld
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// increment is the clean fast path: lock, mutate, unlock.
+func (s *S) increment() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// recurse calls a method that re-acquires s.mu while holding it:
+// sync.Mutex is not reentrant, so this self-deadlocks.
+func (s *S) recurse() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.increment() // want `call to lockheld\.\(\*S\)\.increment while holding s\.mu may re-acquire the same lock`
+}
+
+// indirect hides the re-acquisition one call deeper; the graph's
+// transitive acquires fact still sees it.
+func (s *S) indirect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.middle() // want `call to lockheld\.\(\*S\)\.middle while holding s\.mu may re-acquire the same lock`
+}
+
+func (s *S) middle() { s.increment() }
+
+// recvHeld parks on a channel receive with the lock held.
+func (s *S) recvHeld(ch chan int) {
+	s.mu.Lock()
+	s.n = <-ch // want `channel receive while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// waitHeld parks on a WaitGroup with the lock held.
+func (s *S) waitHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `Wait while holding s\.mu`
+}
+
+// blockingCallee calls a function that ranges over a channel: the
+// blocking is one call away, visible only through the graph.
+func (s *S) blockingCallee(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	drain(ch) // want `call to lockheld\.drain while holding s\.mu may block`
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// unlockedCall releases the lock before the nested acquisition: clean.
+func (s *S) unlockedCall() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.increment()
+}
+
+// litDeferred stores a closure while holding the lock; the literal runs
+// later, not under the lock, so its receive is not a finding.
+func (s *S) litDeferred(ch chan int) *func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := func() { <-ch }
+	return &f
+}
+
+// allowed is the sanctioned single-flight pattern: hold the lock across
+// a blocking callee on purpose, with a justification.
+func (s *S) allowed(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	drain(ch) //detlint:allow lockheld -- fixture: single-flight by design; contenders must wait for the drain
+}

@@ -1,0 +1,29 @@
+// Package staleallow exercises suppression-rot detection.
+package staleallow
+
+import "time"
+
+// used has a live suppression: the directive silences a real walltime
+// finding, so staleallow must stay quiet about it.
+func used() {
+	_ = time.Now() //detlint:allow walltime -- fixture: live suppression
+}
+
+// clean carries a directive with nothing left to suppress.
+func clean() int {
+	//detlint:allow walltime -- fixture: the clock read this excused is gone // want `//detlint:allow walltime suppresses no findings`
+	return 1
+}
+
+// typo names a check that does not exist.
+func typo() int {
+	//detlint:allow frobnicate -- fixture: no such check // want `//detlint:allow names unknown check "frobnicate"`
+	return 2
+}
+
+// exempt directives naming staleallow itself are never judged: silencing
+// a staleness report is the one use that cannot register as a use.
+func exempt() int {
+	//detlint:allow staleallow,walltime -- fixture: exempt from staleness judgment
+	return 3
+}

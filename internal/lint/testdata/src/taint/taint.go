@@ -1,0 +1,90 @@
+// Package taint exercises the interprocedural source→sink chains the
+// syntactic checks cannot see.
+package taint
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// emit is an artifact writer whose call path reaches a wall-clock read
+// through two intermediate helpers — the exact shape PR 3's syntactic
+// walltime check sails past when helpers live behind allow directives
+// or in exempt packages.
+func emit(w io.Writer, rows [][]string) {
+	cw := csv.NewWriter(w)
+	_ = cw.WriteAll(rows)
+	_ = stamp() // want `taint.emit emits an artifact via csv.Writer.WriteAll but its call path reads time.Now \(walltime at taint.go:\d+\): taint.emit → taint.stamp → taint.now`
+	cw.Flush()
+}
+
+func stamp() int64 { return now().UnixNano() }
+
+func now() time.Time { return time.Now() }
+
+// banner reads the clock itself and then calls down into a writer: the
+// tainted value can ride along as an argument.
+func banner(e *json.Encoder, v interface{}) {
+	t := time.Now() // want `taint.banner reads time.Now \(walltime\) and reaches artifact writer taint.writeJSON \(json.Encoder.Encode at taint.go:\d+\): taint.banner → taint.writeJSON`
+	_ = t
+	writeJSON(e, v)
+}
+
+func writeJSON(e *json.Encoder, v interface{}) { _ = e.Encode(v) }
+
+// keys returns map keys in iteration order: a taint source that only
+// bites in whoever consumes the slice.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //detlint:allow maporder -- fixture: the order residue is tracked by the taint check instead
+	}
+	return out
+}
+
+// dump consumes the unsorted keys inside a CSV writer.
+func dump(w io.Writer, m map[string]int) {
+	cw := csv.NewWriter(w)
+	for _, k := range keys(m) { // want `taint.dump emits an artifact via csv.Writer.Write but its call path reads map-iteration-ordered return of out \(maporder at taint.go:\d+\): taint.dump → taint.keys`
+		_ = cw.Write([]string{k})
+	}
+	cw.Flush()
+}
+
+// sortedKeys is the sanctioned idiom: the order is re-established before
+// the slice escapes, so no taint.
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dumpSorted(w io.Writer, m map[string]int) {
+	cw := csv.NewWriter(w)
+	for _, k := range sortedKeys(m) {
+		_ = cw.Write([]string{k})
+	}
+	cw.Flush()
+}
+
+// emitClean writes artifacts with no nondeterminism on any call path.
+func emitClean(w io.Writer, rows [][]string) {
+	cw := csv.NewWriter(w)
+	_ = cw.WriteAll(rows)
+	cw.Flush()
+}
+
+// emitAllowed shows the justification escape hatch: the chain exists,
+// but the author vouches the value never reaches the artifact bytes.
+func emitAllowed(w io.Writer, rows [][]string) {
+	cw := csv.NewWriter(w)
+	_ = cw.WriteAll(rows)
+	_ = stamp() //detlint:allow taint -- fixture: the timestamp is logged to stderr, never written to the artifact
+	cw.Flush()
+}

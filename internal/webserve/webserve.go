@@ -48,7 +48,7 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	s.ln = ln
 	s.httpd = &http.Server{Handler: s}
-	go func() { _ = s.httpd.Serve(ln) }()
+	go func() { _ = s.httpd.Serve(ln) }() //detlint:allow gorleak -- accept-loop daemon: Serve returns when Close shuts the listener
 	return ln.Addr().String(), nil
 }
 
