@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke lint lint-baseline ci fmt-check clean
+.PHONY: build test test-race bench bench-smoke serve-smoke lint lint-baseline ci fmt-check clean
 
 # Accepted pre-existing lint findings; see `detlint -baseline`. The file
 # is committed (currently empty — the tree self-lints clean) so adopting
@@ -35,6 +35,13 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -short -run=^$$ .
 
+# End-to-end serving smoke: boot the hisparserve control plane on an
+# ephemeral port and drive a seeded 12k-request zipf load against it.
+# Fails on any transport error or status outside {2xx, 304}; prints
+# throughput, latency percentiles, and the conditional-hit ratio.
+serve-smoke:
+	$(GO) run ./cmd/hisparserve smoke -seed 42 -loadseed 1 -n 12000 -clients 8
+
 # Determinism lint: cmd/detlint type-checks every package in the module
 # and enforces the invariants the seeded pipeline depends on (no wall
 # clock, no global RNG, no order-dependent map emission, no untracked
@@ -62,6 +69,7 @@ ci: fmt-check
 	$(MAKE) lint
 	$(MAKE) test
 	$(MAKE) test-race
+	$(MAKE) serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,164 @@
+// Command hisparserve runs the Hispar control plane — the serving
+// analogue of hisparctl's batch tooling: a long-running HTTP server that
+// publishes list snapshots, churn diffs, per-site URL sets, and study
+// measurement datasets to many concurrent clients (the way the paper's
+// list is served from hispar.cs.duke.edu), plus the seeded load
+// generator that exercises it.
+//
+// Usage:
+//
+//	hisparserve serve -addr :8420 -seed 42 -weeks 4
+//	hisparserve loadgen -url http://localhost:8420 -n 10000 -clients 8
+//	hisparserve smoke -n 12000 -clients 8
+//
+// smoke boots an ephemeral in-process server, drives the full load
+// against it, prints the report plus the server's metrics, and exits
+// non-zero if any request failed or returned a status outside {2xx,
+// 304} — the CI serve-smoke gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/hisparserve"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "loadgen":
+		cmdLoadgen(os.Args[2:])
+	case "smoke":
+		cmdSmoke(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hisparserve {serve|loadgen|smoke} [flags]")
+	os.Exit(2)
+}
+
+// serverFlags registers the Config knobs shared by serve and smoke.
+func serverFlags(fs *flag.FlagSet) *hisparserve.Config {
+	cfg := &hisparserve.Config{}
+	fs.Int64Var(&cfg.Seed, "seed", 42, "RNG seed (same seed, same bytes)")
+	fs.IntVar(&cfg.Weeks, "weeks", 4, "weekly snapshots served")
+	fs.IntVar(&cfg.Sites, "sites", 24, "sites per snapshot")
+	fs.IntVar(&cfg.URLsPerSite, "persite", 8, "URLs per site")
+	fs.IntVar(&cfg.Universe, "universe", 1500, "top-list universe size")
+	fs.IntVar(&cfg.StudySites, "studysites", 8, "sites measured per dataset")
+	fs.DurationVar(&cfg.MaxAge, "maxage", 5*time.Minute, "freshness lifetime on cacheable payloads")
+	fs.Float64Var(&cfg.RatePerSec, "rate", 0, "API rate limit in requests/sec (0 disables)")
+	fs.IntVar(&cfg.Burst, "burst", 0, "rate-limit burst size")
+	return cfg
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	cfg := serverFlags(fs)
+	var (
+		addr  = fs.String("addr", "127.0.0.1:8420", "listen address")
+		drain = fs.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+	)
+	_ = fs.Parse(args)
+
+	s := hisparserve.New(*cfg)
+	bound, err := s.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hisparserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "hisparserve: serving on http://%s (ctrl-c to drain and stop)\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	fmt.Fprintln(os.Stderr, "hisparserve: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "hisparserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	s.Stats().Render(os.Stderr)
+}
+
+// loadFlags registers the LoadConfig knobs shared by loadgen and smoke.
+func loadFlags(fs *flag.FlagSet) *hisparserve.LoadConfig {
+	lc := &hisparserve.LoadConfig{}
+	fs.Int64Var(&lc.Seed, "loadseed", 1, "load generator seed")
+	fs.IntVar(&lc.Requests, "n", 10000, "total requests")
+	fs.IntVar(&lc.Clients, "clients", 8, "concurrent client streams")
+	fs.Float64Var(&lc.ZipfS, "zipf", 1.2, "zipf exponent over site ranks")
+	fs.IntVar(&lc.Week, "week", 0, "snapshot week to browse")
+	fs.IntVar(&lc.ListEvery, "listevery", 50, "every Nth request fetches the list CSV")
+	fs.IntVar(&lc.DatasetEvery, "datasetevery", 200, "every Nth request fetches the study dataset")
+	return lc
+}
+
+func cmdLoadgen(args []string) {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	lc := loadFlags(fs)
+	url := fs.String("url", "http://127.0.0.1:8420", "base URL of a running server")
+	_ = fs.Parse(args)
+	runLoad(*url, *lc, nil)
+}
+
+func cmdSmoke(args []string) {
+	fs := flag.NewFlagSet("smoke", flag.ExitOnError)
+	cfg := serverFlags(fs)
+	lc := loadFlags(fs)
+	_ = fs.Parse(args)
+
+	s := hisparserve.New(*cfg)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hisparserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "smoke: ephemeral server on http://%s\n", addr)
+	runLoad("http://"+addr, *lc, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "smoke: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "smoke: server metrics:")
+		s.Stats().Render(os.Stderr)
+	})
+}
+
+// runLoad drives the generator, renders both reports, runs cleanup, and
+// exits non-zero when the run saw failures.
+func runLoad(baseURL string, lc hisparserve.LoadConfig, cleanup func()) {
+	rep, set, err := hisparserve.RunLoad(baseURL, lc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hisparserve: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Render(os.Stdout)
+	fmt.Println("loadgen metrics:")
+	set.Render(os.Stdout)
+	if cleanup != nil {
+		cleanup()
+	}
+	if err := rep.Failures(); err != nil {
+		fmt.Fprintf(os.Stderr, "hisparserve: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "hisparserve: PASS")
+}

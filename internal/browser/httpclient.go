@@ -1,0 +1,180 @@
+package browser
+
+// CachingClient drives the browser's private Cache over a *real* HTTP
+// transport: the same RFC 7234 policy that decides what the simulated
+// browser stores, serves fresh, or revalidates is applied verbatim to
+// live net/http exchanges. It exists so the tree can dogfood its own
+// caching semantics — internal/hisparserve's round-trip tests use it as
+// the client against the live control plane, proving that the headers we
+// emit are the headers we can consume.
+//
+// The Cache itself stores response metadata only (the simulator never
+// needs bodies), so the client keeps the identity bodies alongside it,
+// keyed by URL. Like the Cache, a CachingClient is single-context: it is
+// not safe for concurrent use.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/har"
+)
+
+// CachingClient is an HTTP client with a browser-grade private cache.
+type CachingClient struct {
+	cache  *Cache
+	rt     http.RoundTripper
+	now    func() time.Time
+	bodies map[string][]byte
+
+	// BytesSaved accumulates body bytes served locally (fresh hits) or
+	// validated by header-only 304s instead of being re-transferred.
+	BytesSaved int64
+}
+
+// NewCachingClient wraps cache and transport. now supplies the cache's
+// notion of the current time (injectable so tests can age entries past
+// their freshness lifetime without sleeping). The transport should not
+// apply transparent content decoding tricks that rewrite validators; a
+// plain http.Transport with DisableCompression works, and then the cache
+// holds identity representations.
+func NewCachingClient(cache *Cache, transport http.RoundTripper, now func() time.Time) *CachingClient {
+	return &CachingClient{cache: cache, rt: transport, now: now, bodies: make(map[string][]byte)}
+}
+
+// FetchResult describes how one GET was satisfied.
+type FetchResult struct {
+	Status int
+	Header http.Header
+	Body   []byte
+	// FromCache is true when the response was served locally with no
+	// network exchange at all.
+	FromCache bool
+	// Revalidated is true when a conditional request came back 304 and
+	// the stored response was served after a header-only exchange.
+	Revalidated bool
+	// TransferBytes is what crossed the network: 0 for cache hits,
+	// roughly header size for revalidations, headers+body otherwise.
+	TransferBytes int64
+}
+
+// Get fetches url through the cache: fresh stored responses are served
+// locally, stale ones are revalidated with If-None-Match /
+// If-Modified-Since, and everything else is fetched in full and offered
+// to the cache for storage.
+func (cc *CachingClient) Get(url string) (*FetchResult, error) {
+	now := cc.now()
+	ent, state := cc.cache.lookup(url, now)
+	if state == cacheFresh {
+		cc.cache.hits++
+		cc.BytesSaved += ent.size
+		return &FetchResult{
+			Status:    ent.status,
+			Header:    harHeaders(ent.headers),
+			Body:      cc.bodies[url],
+			FromCache: true,
+		}, nil
+	}
+
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if state == cacheStale && ent.fresh.HasValidator() {
+		if ent.fresh.ETag != "" {
+			req.Header.Set("If-None-Match", ent.fresh.ETag)
+		} else {
+			req.Header.Set("If-Modified-Since", ent.fresh.LastModified)
+		}
+	}
+	resp, err := cc.rt.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	if resp.StatusCode == http.StatusNotModified && ent != nil {
+		// Header-only exchange: freshen the stored copy (RFC 7234
+		// §4.3.4) and serve it.
+		cc.cache.freshen(url, cc.now())
+		transfer := headerWireSize(resp)
+		cc.BytesSaved += ent.size - transfer
+		return &FetchResult{
+			Status:        ent.status,
+			Header:        harHeaders(ent.headers),
+			Body:          cc.bodies[url],
+			Revalidated:   true,
+			TransferBytes: transfer,
+		}, nil
+	}
+
+	hr := har.Response{
+		Status:   resp.StatusCode,
+		Headers:  sortedHeaders(resp.Header),
+		MIMEType: resp.Header.Get("Content-Type"),
+		BodySize: int64(len(body)),
+	}
+	stores := cc.cache.stores
+	cc.cache.store(url, "GET", &hr, cc.now())
+	if cc.cache.stores > stores {
+		// The cache accepted this response; keep its body for later
+		// local serves. A rejected response leaves any previously
+		// stored entry (and its body) untouched.
+		cc.bodies[url] = body
+	}
+	return &FetchResult{
+		Status:        resp.StatusCode,
+		Header:        resp.Header,
+		Body:          body,
+		TransferBytes: headerWireSize(resp) + int64(len(body)),
+	}, nil
+}
+
+// sortedHeaders flattens an http.Header into har.Header pairs in
+// deterministic (name-sorted) order.
+func sortedHeaders(h http.Header) []har.Header {
+	names := make([]string, 0, len(h))
+	for k := range h {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]har.Header, 0, len(h))
+	for _, k := range names {
+		for _, v := range h[k] {
+			out = append(out, har.Header{Name: k, Value: v})
+		}
+	}
+	return out
+}
+
+// harHeaders converts stored har.Header pairs back to an http.Header.
+func harHeaders(hs []har.Header) http.Header {
+	h := make(http.Header, len(hs))
+	for _, kv := range hs {
+		h.Add(kv.Name, kv.Value)
+	}
+	return h
+}
+
+// headerWireSize estimates the bytes the status line and headers cost on
+// the wire.
+func headerWireSize(resp *http.Response) int64 {
+	var cw countingWriter
+	fmt.Fprintf(&cw, "%s %s\r\n", resp.Proto, resp.Status)
+	_ = resp.Header.Write(&cw) // writes name-sorted, so the count is deterministic
+	return cw.n + 2            // final CRLF
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

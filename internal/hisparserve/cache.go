@@ -1,0 +1,125 @@
+package hisparserve
+
+// The options-keyed build cache behind every expensive route. Each cache
+// layer is a single-flight group: the first request for a key starts
+// exactly one build in a tracked goroutine; concurrent requests for the
+// same key either block on that build (wait mode) or are answered
+// not-ready immediately while it runs (the golds docServer
+// StatusTooEarly idiom). Results are kept for the server's lifetime —
+// snapshots and studies are deterministic functions of (seed, options),
+// so there is nothing to invalidate.
+
+import (
+	"sort"
+	"sync"
+)
+
+// buildState is the lifecycle of one keyed build.
+type buildState int
+
+const (
+	stateBuilding buildState = iota
+	stateReady
+	stateFailed
+)
+
+func (s buildState) String() string {
+	switch s {
+	case stateBuilding:
+		return "building"
+	case stateReady:
+		return "ready"
+	default:
+		return "failed"
+	}
+}
+
+// call is one in-flight or completed build.
+type call[T any] struct {
+	done chan struct{} // closed after val/err are set
+	val  T
+	err  error
+}
+
+// flight is a keyed single-flight cache. track runs the build function
+// in a goroutine the owner can join at shutdown.
+type flight[T any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[T]
+	track func(func())
+}
+
+func newFlight[T any](track func(func())) *flight[T] {
+	return &flight[T]{calls: make(map[string]*call[T]), track: track}
+}
+
+// do returns the cached value for key, starting fn (exactly once per
+// key) if no build exists yet. With wait=true it blocks until the build
+// completes; otherwise a still-running build reports stateBuilding.
+func (f *flight[T]) do(key string, wait bool, fn func() (T, error)) (T, buildState, error) {
+	f.mu.Lock()
+	c, ok := f.calls[key]
+	if !ok {
+		c = &call[T]{done: make(chan struct{})}
+		f.calls[key] = c
+		f.track(func() {
+			v, err := fn()
+			c.val, c.err = v, err
+			close(c.done) // happens-after the writes above; readers sync on done
+		})
+	}
+	f.mu.Unlock()
+	if wait {
+		<-c.done
+	}
+	select {
+	case <-c.done:
+		if c.err != nil {
+			var zero T
+			return zero, stateFailed, c.err
+		}
+		return c.val, stateReady, nil
+	default:
+		var zero T
+		return zero, stateBuilding, nil
+	}
+}
+
+// buildInfo is the observable state of one keyed build (the /v1/jobs
+// view).
+type buildInfo struct {
+	Key   string `json:"key"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// info snapshots every build, sorted by key for deterministic emission.
+// The map is copied under the lock; call states are read lock-free
+// afterwards (done-channel synchronization makes val/err safe to read
+// once done is closed, and the non-blocking probe never parks).
+func (f *flight[T]) info() []buildInfo {
+	f.mu.Lock()
+	calls := make(map[string]*call[T], len(f.calls))
+	for k, c := range f.calls {
+		calls[k] = c
+	}
+	f.mu.Unlock()
+
+	out := make([]buildInfo, 0, len(calls))
+	for k, c := range calls {
+		bi := buildInfo{Key: k, State: stateBuilding.String()}
+		select {
+		case <-c.done:
+			if c.err != nil {
+				bi.State = stateFailed.String()
+				bi.Error = c.err.Error()
+			} else {
+				bi.State = stateReady.String()
+			}
+		default:
+		}
+		out = append(out, bi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,119 @@
+package hisparserve
+
+// The middleware stack in front of the route handlers: request logging
+// into runstats, and a token-bucket rate limiter for the /v1/ API
+// surface. Gzip is not a wrapping middleware here — payloads are built
+// once and compressed once at build time (see payload), so the serving
+// path only selects a representation.
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// tokenBucket is a concurrency-safe token-bucket rate limiter with an
+// injectable clock (tests drive it with a fake clock; production uses
+// vclock.Wall).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: now}
+}
+
+// allow consumes one token if available; otherwise it reports how long
+// until the next token accrues (the Retry-After hint).
+func (tb *tokenBucket) allow() (bool, time.Duration) {
+	if tb.rate <= 0 {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	if !tb.last.IsZero() {
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second))
+	return false, wait
+}
+
+// statusWriter records the status code and body bytes a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// withMiddleware wraps the route mux with rate limiting (API routes
+// only; health and metrics stay reachable when the bucket is dry) and
+// request logging into the server's runstats set.
+func (s *Server) withMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := vclock.Wall() // sanctioned telemetry clock: serving-side latency, not a measurement artifact
+		sw := &statusWriter{ResponseWriter: w}
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			if ok, wait := s.limiter.allow(); !ok {
+				sw.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
+				http.Error(sw, "rate limited", http.StatusTooManyRequests)
+				s.logRequest(sw, start)
+				return
+			}
+		}
+		next.ServeHTTP(sw, r)
+		s.logRequest(sw, start)
+	})
+}
+
+func (s *Server) logRequest(sw *statusWriter, start time.Time) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	s.stats.Inc("http.requests", 1)
+	s.stats.Inc("http.status."+strconv.Itoa(sw.status), 1)
+	s.stats.Inc("http.bytes_out", sw.bytes)
+	s.stats.Observe("http.latency_ms", float64(vclock.WallSince(start).Microseconds())/1000)
+}
+
+// acceptsGzip reports whether the client advertises gzip support.
+func acceptsGzip(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
+}

@@ -1,0 +1,83 @@
+package httpsem
+
+import "testing"
+
+func TestETagMatch(t *testing.T) {
+	cases := []struct {
+		inm, etag string
+		want      bool
+	}{
+		{`"abc"`, `"abc"`, true},
+		{`"abc"`, `"abcd"`, false},
+		{`*`, `"anything"`, true},
+		{`*`, ``, false}, // no validator: nothing to match
+		{`"x", "y", "abc"`, `"abc"`, true},
+		{`"x","y"`, `"abc"`, false},
+		// Weak comparison: W/ is ignored on either side (§2.3.2).
+		{`W/"abc"`, `"abc"`, true},
+		{`"abc"`, `W/"abc"`, true},
+		{`W/"abc"`, `W/"abc"`, true},
+		// Content-coding variants are distinct entity-tags: the gzip
+		// representation's tag must not validate the identity one, and
+		// vice versa — the Vary: Accept-Encoding contract hisparserve
+		// relies on.
+		{`"abc"`, `"abc-gzip"`, false},
+		{`"abc-gzip"`, `"abc"`, false},
+		{`"abc-gzip"`, `"abc-gzip"`, true},
+		// Unquoted junk never matches a quoted tag.
+		{`abc`, `"abc"`, false},
+	}
+	for _, c := range cases {
+		if got := ETagMatch(c.inm, c.etag); got != c.want {
+			t.Errorf("ETagMatch(%q, %q) = %v, want %v", c.inm, c.etag, got, c.want)
+		}
+	}
+}
+
+func TestNotModifiedSince(t *testing.T) {
+	const (
+		older = "Thu, 12 Mar 2020 00:00:00 GMT"
+		newer = "Thu, 19 Mar 2020 00:00:00 GMT"
+	)
+	cases := []struct {
+		ims, lm string
+		want    bool
+	}{
+		{newer, older, true},  // unchanged since the client's copy
+		{older, older, true},  // exact match is unchanged
+		{older, newer, false}, // modified after the client's copy
+		{"garbage", older, false},
+		{newer, "garbage", false},
+		{"", older, false},
+		{newer, "", false},
+	}
+	for _, c := range cases {
+		if got := NotModifiedSince(c.ims, c.lm); got != c.want {
+			t.Errorf("NotModifiedSince(%q, %q) = %v, want %v", c.ims, c.lm, got, c.want)
+		}
+	}
+}
+
+func TestCheckNotModifiedPrecedence(t *testing.T) {
+	const (
+		etag  = `"abc"`
+		lm    = "Thu, 12 Mar 2020 00:00:00 GMT"
+		later = "Thu, 19 Mar 2020 00:00:00 GMT"
+	)
+	// If-None-Match present and matching → 304 regardless of IMS.
+	if !CheckNotModified(etag, "", etag, lm) {
+		t.Error("matching If-None-Match should be not-modified")
+	}
+	// If-None-Match present but MISSING the tag → full response, even
+	// when If-Modified-Since alone would have said 304 (§6: IMS ignored).
+	if CheckNotModified(`"other"`, later, etag, lm) {
+		t.Error("non-matching If-None-Match must win over a matching If-Modified-Since")
+	}
+	// No If-None-Match → If-Modified-Since decides.
+	if !CheckNotModified("", later, etag, lm) {
+		t.Error("matching If-Modified-Since should be not-modified")
+	}
+	if CheckNotModified("", "", etag, lm) {
+		t.Error("unconditional request is never not-modified")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/httpsem"
 	"repro/internal/webgen"
 )
 
@@ -24,6 +25,9 @@ type Server struct {
 	web *webgen.Web
 	// MaxBodyFill caps generated filler per object body (default 64 KiB).
 	MaxBodyFill int
+	// Wrap, when set before Start, wraps the virtual-hosting handler —
+	// the attachment point for middleware (request logging, test gates).
+	Wrap func(http.Handler) http.Handler
 
 	mu     sync.Mutex
 	models map[string]*webgen.PageModel // page URL (host+path) -> model
@@ -47,15 +51,34 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", fmt.Errorf("webserve: listen: %w", err)
 	}
 	s.ln = ln
-	s.httpd = &http.Server{Handler: s}
+	handler := http.Handler(s)
+	if s.Wrap != nil {
+		handler = s.Wrap(handler)
+	}
+	s.httpd = &http.Server{Handler: handler}
 	go func() { _ = s.httpd.Serve(ln) }() //detlint:allow gorleak -- accept-loop daemon: Serve returns when Close shuts the listener
 	return ln.Addr().String(), nil
 }
 
-// Close stops the server.
+// Close stops the server immediately, cutting in-flight requests.
 func (s *Server) Close() error {
 	if s.httpd != nil {
 		return s.httpd.Close()
+	}
+	return nil
+}
+
+// Shutdown stops the server gracefully: the listener closes at once (new
+// connections are refused) while in-flight requests run to completion.
+// If ctx expires before the drain finishes, the remaining connections
+// are cut and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.httpd == nil {
+		return nil
+	}
+	if err := s.httpd.Shutdown(ctx); err != nil {
+		_ = s.httpd.Close() // drain deadline hit: cut the stragglers
+		return err
 	}
 	return nil
 }
@@ -189,17 +212,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // notModified evaluates the request's conditional headers against the
-// object's validators.
+// object's validators via the shared RFC 7232 evaluation in httpsem.
 func notModified(r *http.Request, o *webgen.Object) bool {
-	if inm := r.Header.Get("If-None-Match"); inm != "" {
-		return o.ETag != "" && (inm == "*" || strings.Contains(inm, o.ETag))
-	}
-	if ims := r.Header.Get("If-Modified-Since"); ims != "" && o.LastModified != "" {
-		lm, err1 := http.ParseTime(o.LastModified)
-		since, err2 := http.ParseTime(ims)
-		return err1 == nil && err2 == nil && !lm.After(since)
-	}
-	return false
+	return httpsem.CheckNotModified(
+		r.Header.Get("If-None-Match"), r.Header.Get("If-Modified-Since"),
+		o.ETag, o.LastModified)
 }
 
 // Client returns an http.Client that routes every request to the server

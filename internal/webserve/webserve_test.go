@@ -1,10 +1,14 @@
 package webserve
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/htmlx"
 	"repro/internal/toplist"
@@ -212,5 +216,95 @@ func TestVirtualHostingSeparatesSites(t *testing.T) {
 	_, bodyB := get(t, client, web.Sites[1].Landing().URL())
 	if bodyA == bodyB {
 		t.Error("different hosts served identical documents")
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight pins the Shutdown contract: a
+// request already inside a handler runs to completion while the closed
+// listener refuses new connections, and Shutdown only returns once the
+// in-flight response has been written.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	u := toplist.NewUniverse(toplist.Config{Seed: 61, Size: 300})
+	entries := u.Top(3)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: 61, Sites: seeds})
+	srv := New(web)
+
+	entered := make(chan struct{}) // handler reached
+	release := make(chan struct{}) // test lets the handler finish
+	srv.Wrap = func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			close(entered)
+			<-release
+			next.ServeHTTP(w, r)
+		})
+	}
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client := srv.Client()
+
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := client.Get(urlx.WithScheme(web.Sites[0].Landing().URL(), "http"))
+		if err != nil {
+			inflight <- err
+			return
+		}
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != 200 {
+			err = fmt.Errorf("in-flight request answered %d", resp.StatusCode)
+		}
+		inflight <- err
+	}()
+	<-entered // the request is inside the handler
+
+	shutdown := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdown <- srv.Shutdown(ctx)
+	}()
+
+	// New connections are refused as soon as the listener closes. Poll:
+	// Shutdown closes the listener before it starts draining, but we may
+	// race its first instruction.
+	refused := false
+	for i := 0; i < 200; i++ {
+		conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+		if err != nil {
+			refused = true
+			break
+		}
+		conn.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("listener still accepting connections after Shutdown began")
+	}
+
+	// Shutdown must still be draining: the handler is parked on release.
+	select {
+	case err := <-shutdown:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-inflight; err != nil {
+		t.Errorf("in-flight request failed during graceful shutdown: %v", err)
+	}
+	select {
+	case err := <-shutdown:
+		if err != nil {
+			t.Errorf("Shutdown = %v, want nil after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return after the in-flight request completed")
 	}
 }
