@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke serve-smoke lint lint-baseline ci fmt-check clean
+.PHONY: build test test-race bench bench-smoke bench-baseline bench-gate serve-smoke lint lint-baseline ci fmt-check clean
 
 # Accepted pre-existing lint findings; see `detlint -baseline`. The file
 # is committed (currently empty — the tree self-lints clean) so adopting
@@ -34,6 +34,38 @@ bench:
 # runs. CI parses the output into BENCH_ci.json via cmd/benchjson.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -short -run=^$$ .
+
+# Benchmarks run at -benchtime=1x so the heavyweight study benchmarks
+# execute a single op; -count=$(BENCH_COUNT) repeats the whole suite and
+# benchjson keeps the best (lowest-ns/op) sample per benchmark, which
+# tames single-iteration noise on the sub-millisecond benchmarks.
+BENCH_COUNT ?= 3
+
+# Regression-gate tolerances. ns/op is noisy — machine, load, and CPU
+# count all move it — so the gate is generous there. allocs/op is
+# deterministic for identical code on any machine, so it is held tight:
+# an allocation regression is a code change, not noise.
+BENCH_TOL ?= 0.25
+BENCH_TOL_ALLOCS ?= 0.05
+
+# Re-record the committed benchmark baseline (run on a quiet machine,
+# inspect the diff, commit BENCH_baseline.json — see README).
+bench-baseline:
+	$(GO) test -bench=. -benchtime=1x -count=$(BENCH_COUNT) -benchmem -short -run=^$$ . > bench.txt
+	cat bench.txt
+	$(GO) run ./cmd/benchjson -o BENCH_baseline.json bench.txt
+
+# The CI perf gate: run bench-smoke, convert to BENCH_ci.json, and diff
+# against the committed baseline. Fails when any benchmark regresses
+# beyond tolerance on ns/op or allocs/op; BENCH_delta.txt always holds
+# the full comparison table for the artifact upload.
+bench-gate:
+	$(GO) test -bench=. -benchtime=1x -count=$(BENCH_COUNT) -benchmem -short -run=^$$ . > bench.txt
+	cat bench.txt
+	$(GO) run ./cmd/benchjson -o BENCH_ci.json bench.txt
+	$(GO) run ./cmd/benchjson -old BENCH_baseline.json -new BENCH_ci.json \
+		-tol $(BENCH_TOL) -tol-allocs $(BENCH_TOL_ALLOCS) -o BENCH_delta.txt; \
+		status=$$?; cat BENCH_delta.txt; exit $$status
 
 # End-to-end serving smoke: boot the hisparserve control plane on an
 # ephemeral port and drive a seeded 12k-request zipf load against it.

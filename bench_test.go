@@ -10,16 +10,20 @@ package repro
 // cmd/papereval for full-scale (1000-site) numbers.
 
 import (
+	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/browser"
 	"repro/internal/cdn"
+	"repro/internal/core"
 	"repro/internal/dnssim"
 	"repro/internal/experiments"
 	"repro/internal/hispar"
 	"repro/internal/search"
+	"repro/internal/stats"
 	"repro/internal/toplist"
 	"repro/internal/webgen"
 )
@@ -223,6 +227,169 @@ func BenchmarkHisparBuild(b *testing.B) {
 		}
 	}
 }
+
+// --- Streaming engine and sketch benchmarks ---
+
+// BenchmarkSketchInsert measures one quantile-sketch insertion (the
+// per-sample cost of the streaming fold).
+func BenchmarkSketchInsert(b *testing.B) {
+	s := stats.NewDefaultSketch()
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 1<<12)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1e6
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(vals[i&(len(vals)-1)])
+	}
+}
+
+// BenchmarkSketchMerge measures folding 16 shard sketches (4096 samples
+// each) into a fresh accumulator — the end-of-run merge path.
+func BenchmarkSketchMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	shards := make([]*stats.Sketch, 16)
+	for i := range shards {
+		shards[i] = stats.NewDefaultSketch()
+		for j := 0; j < 4096; j++ {
+			shards[i].Insert(rng.ExpFloat64() * 1e5)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := stats.NewDefaultSketch()
+		for _, s := range shards {
+			if err := acc.Merge(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchStudyCorpus builds a web snapshot and Hispar-style list at the
+// given site count, outside any timing loop. The reduced per-site scale
+// (6 URLs — the minimum that satisfies MinResults — and 2 landing
+// fetches) keeps large site counts tractable while preserving the
+// result-set shape the streaming engine must bound.
+func benchStudyCorpus(b *testing.B, sites int) (*webgen.Web, *hispar.List) {
+	b.Helper()
+	size := sites * 3
+	if size < 2000 {
+		size = 2000
+	}
+	u := toplist.NewUniverse(toplist.Config{Seed: 7, Size: size})
+	entries := u.Top(sites * 7 / 5)
+	seeds := make([]webgen.SiteSeed, len(entries))
+	for i, e := range entries {
+		seeds[i] = webgen.SiteSeed{Domain: e.Domain, Rank: e.Rank}
+	}
+	web := webgen.Generate(webgen.Config{Seed: 7, Sites: seeds})
+	eng := search.New(web, search.Config{EnglishOnly: true})
+	list, _, err := hispar.Build(eng, entries, hispar.BuildConfig{
+		Sites: sites, URLsPerSite: 6, MinResults: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return web, list
+}
+
+// retainedDelta returns the live-heap growth attributable to res: heap
+// reachable after the run minus heap reachable before, with res held
+// alive across the second GC. This is the metric the constant-memory
+// claim is about — cumulative B/op grows linearly with sites on any
+// path, but the streamed result must retain a roughly constant
+// footprint while the in-memory one retains every SiteResult.
+func retainedDelta(before *runtime.MemStats, res any) float64 {
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(res)
+	return float64(after.HeapAlloc) - float64(before.HeapAlloc)
+}
+
+func heapBefore() runtime.MemStats {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}
+
+// warmCorpus runs one throwaway streamed pass so lazily-built corpus
+// state (page pools, caches reachable from web) exists before the
+// retained-B/op measurement — otherwise that linear-in-sites corpus
+// growth would be misattributed to the result being measured.
+func warmCorpus(b *testing.B, web *webgen.Web, list *hispar.List) {
+	b.Helper()
+	st, err := core.NewStudy(web, core.StudyConfig{Seed: 7, LandingFetches: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.RunStream(list, core.StreamConfig{}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchStreamStudy(b *testing.B, sites int) {
+	if testing.Short() && sites > 200 {
+		b.Skip("large-corpus streaming benchmark skipped in short mode")
+	}
+	web, list := benchStudyCorpus(b, sites)
+	warmCorpus(b, web, list)
+	b.ReportAllocs()
+	b.ResetTimer()
+	retained := 0.0
+	for i := 0; i < b.N; i++ {
+		st, err := core.NewStudy(web, core.StudyConfig{Seed: 7, LandingFetches: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		before := heapBefore()
+		sres, err := st.RunStream(list, core.StreamConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		retained += retainedDelta(&before, sres)
+	}
+	b.ReportMetric(retained/float64(b.N), "retained-B/op")
+}
+
+func benchInMemoryStudy(b *testing.B, sites int) {
+	if testing.Short() && sites > 200 {
+		b.Skip("large-corpus in-memory benchmark skipped in short mode")
+	}
+	web, list := benchStudyCorpus(b, sites)
+	warmCorpus(b, web, list)
+	b.ReportAllocs()
+	b.ResetTimer()
+	retained := 0.0
+	for i := 0; i < b.N; i++ {
+		st, err := core.NewStudy(web, core.StudyConfig{Seed: 7, LandingFetches: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		before := heapBefore()
+		res, err := st.Run(list)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retained += retainedDelta(&before, res)
+	}
+	b.ReportMetric(retained/float64(b.N), "retained-B/op")
+}
+
+// BenchmarkStreamStudy120 runs in bench-smoke and anchors the CI gate
+// on the streaming hot path; the H1K/H10K pairs document the retained-
+// memory scaling (see EXPERIMENTS.md) and run only in full bench mode.
+func BenchmarkStreamStudy120(b *testing.B)    { benchStreamStudy(b, 120) }
+func BenchmarkStreamStudyH1K(b *testing.B)    { benchStreamStudy(b, 1000) }
+func BenchmarkStreamStudyH10K(b *testing.B)   { benchStreamStudy(b, 10000) }
+func BenchmarkInMemoryStudy120(b *testing.B)  { benchInMemoryStudy(b, 120) }
+func BenchmarkInMemoryStudyH1K(b *testing.B)  { benchInMemoryStudy(b, 1000) }
+func BenchmarkInMemoryStudyH10K(b *testing.B) { benchInMemoryStudy(b, 10000) }
 
 // BenchmarkToplistWeek measures one week of top-list drift plus a
 // 5K-snapshot.

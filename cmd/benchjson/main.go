@@ -38,20 +38,23 @@ import (
 
 // Result is one benchmark line's parsed metrics. Iterations and ns/op
 // are always present; B/op and allocs/op only when the benchmark
-// reports allocations.
+// reports allocations. Extra holds custom b.ReportMetric values keyed
+// by unit (e.g. "retained-B/op") — recorded in the artifact for trend
+// inspection but not gated.
 type Result struct {
-	Iterations  int64    `json:"iterations"`
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
-	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64           `json:"mb_per_sec,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
-// benchLine matches the standard testing package result format:
-//
-//	BenchmarkName-8  	  124	   9612340 ns/op	  513678 B/op	    1290 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// procsSuffix is the -GOMAXPROCS tail the testing package appends to
+// benchmark names. It is stripped before keying so a baseline recorded
+// on one machine compares against a run on another with a different
+// core count (BenchmarkFoo-4 and BenchmarkFoo-16 are the same bench).
+var procsSuffix = regexp.MustCompile(`-\d+$`)
 
 // benchStart recognizes a line that claims to be a benchmark result:
 // the testing package always prints "Benchmark<Name>[-procs]<TAB>". Such
@@ -60,8 +63,12 @@ var benchStart = regexp.MustCompile(`^Benchmark\w+(?:-\d+)?\s`)
 
 // parseBench reads a `go test -bench` stream and returns results keyed
 // by benchmark name. It is strict where it matters: malformed metric
-// fields on a benchmark line, duplicate benchmark names, and inputs with
-// no benchmark lines at all are errors.
+// fields on a benchmark line and inputs with no benchmark lines at all
+// are errors. A name that appears more than once (go test -count=N)
+// keeps the sample with the lowest ns/op — the least
+// scheduler-disturbed run — so gating on a best-of-N is the default
+// rather than a flag. Deterministic metrics (allocs/op) are identical
+// across counts, so min-selection cannot mask an allocation regression.
 func parseBench(in io.Reader) (map[string]Result, error) {
 	results := make(map[string]Result)
 	sc := bufio.NewScanner(in)
@@ -70,47 +77,17 @@ func parseBench(in io.Reader) (map[string]Result, error) {
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			if benchStart.MatchString(line) {
-				return nil, fmt.Errorf("line %d: malformed benchmark result %q", lineNo, strings.TrimSpace(line))
-			}
+		if !benchStart.MatchString(line) {
 			continue
 		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
+		name, r, err := parseBenchFields(line)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: bad iteration count %q: %v", lineNo, m[2], err)
+			return nil, fmt.Errorf("line %d: %v: %q", lineNo, err, strings.TrimSpace(line))
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: bad ns/op %q: %v", lineNo, m[3], err)
+		if prev, dup := results[name]; dup && prev.NsPerOp <= r.NsPerOp {
+			continue
 		}
-		r := Result{Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			v, err := strconv.ParseFloat(m[4], 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: bad MB/s %q: %v", lineNo, m[4], err)
-			}
-			r.MBPerSec = &v
-		}
-		if m[5] != "" {
-			v, err := strconv.ParseInt(m[5], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: bad B/op %q: %v", lineNo, m[5], err)
-			}
-			r.BytesPerOp = &v
-		}
-		if m[6] != "" {
-			v, err := strconv.ParseInt(m[6], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("line %d: bad allocs/op %q: %v", lineNo, m[6], err)
-			}
-			r.AllocsPerOp = &v
-		}
-		if _, dup := results[m[1]]; dup {
-			return nil, fmt.Errorf("line %d: duplicate benchmark %q (concatenated runs? pass one run per invocation)", lineNo, m[1])
-		}
-		results[m[1]] = r
+		results[name] = r
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -119,6 +96,71 @@ func parseBench(in io.Reader) (map[string]Result, error) {
 		return nil, fmt.Errorf("no benchmark result lines found in input")
 	}
 	return results, nil
+}
+
+// parseBenchFields parses one benchmark result line as whitespace-split
+// fields: the name, the iteration count, then (value, unit) pairs in
+// whatever order the testing package emits them. Standard units fill
+// the typed Result fields; custom b.ReportMetric units land in Extra,
+// so benchmarks can publish metrics like "retained-B/op" without
+// breaking the standard ones that follow on the line.
+func parseBenchFields(line string) (string, Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+		return "", Result{}, fmt.Errorf("malformed benchmark result")
+	}
+	name := procsSuffix.ReplaceAllString(fields[0], "")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		if _, ferr := strconv.ParseFloat(fields[1], 64); ferr != nil {
+			return "", Result{}, fmt.Errorf("malformed benchmark result (bad iteration count %q)", fields[1])
+		}
+		return "", Result{}, fmt.Errorf("bad iteration count %q", fields[1])
+	}
+	r := Result{Iterations: iters}
+	sawNs := false
+	for i := 2; i < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return "", Result{}, fmt.Errorf("bad ns/op %q", val)
+			}
+			r.NsPerOp, sawNs = v, true
+		case "MB/s":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return "", Result{}, fmt.Errorf("bad MB/s %q", val)
+			}
+			r.MBPerSec = &v
+		case "B/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return "", Result{}, fmt.Errorf("bad B/op %q", val)
+			}
+			r.BytesPerOp = &v
+		case "allocs/op":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return "", Result{}, fmt.Errorf("bad allocs/op %q", val)
+			}
+			r.AllocsPerOp = &v
+		default:
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return "", Result{}, fmt.Errorf("malformed benchmark result (bad metric %q %q)", val, unit)
+			}
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	if !sawNs {
+		return "", Result{}, fmt.Errorf("malformed benchmark result (no ns/op)")
+	}
+	return name, r, nil
 }
 
 // Delta is one benchmark's old→new comparison. Changes are fractional:
@@ -149,9 +191,11 @@ func fracChange(old, new float64) float64 {
 
 // compare diffs two artifacts benchmark-by-benchmark. Deltas come back
 // sorted by name; added and removed list benchmarks present on only one
-// side. regressed is true when any delta exceeds tol on ns/op or
-// allocs/op.
-func compare(old, new map[string]Result, tol float64) (deltas []Delta, added, removed []string, regressed bool) {
+// side. regressed is true when any delta exceeds tolNs on ns/op or
+// tolAllocs on allocs/op. The tolerances are separate because the two
+// metrics have very different noise floors: ns/op varies with machine
+// and load, while allocs/op is deterministic for the same code.
+func compare(old, new map[string]Result, tolNs, tolAllocs float64) (deltas []Delta, added, removed []string, regressed bool) {
 	names := make([]string, 0, len(old))
 	for name := range old {
 		if _, ok := new[name]; ok {
@@ -183,7 +227,7 @@ func compare(old, new map[string]Result, tol float64) (deltas []Delta, added, re
 			c := fracChange(float64(*o.AllocsPerOp), float64(*n.AllocsPerOp))
 			d.AllocsChange = &c
 		}
-		d.Regressed = d.NsChange > tol || (d.AllocsChange != nil && *d.AllocsChange > tol)
+		d.Regressed = d.NsChange > tolNs || (d.AllocsChange != nil && *d.AllocsChange > tolAllocs)
 		if d.Regressed {
 			regressed = true
 		}
@@ -240,18 +284,22 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	oldFile := flag.String("old", "", "comparison mode: baseline benchjson artifact")
 	newFile := flag.String("new", "", "comparison mode: candidate benchjson artifact")
-	tol := flag.Float64("tol", 0.10, "comparison mode: fractional regression tolerance on ns/op and allocs/op")
+	tol := flag.Float64("tol", 0.10, "comparison mode: fractional regression tolerance on ns/op")
+	tolAllocs := flag.Float64("tol-allocs", -1, "comparison mode: fractional tolerance on allocs/op (default: same as -tol)")
 	flag.Parse()
 
 	if (*oldFile == "") != (*newFile == "") {
 		fatal(fmt.Errorf("-old and -new must be given together"))
+	}
+	if *tolAllocs < 0 {
+		*tolAllocs = *tol
 	}
 	if *oldFile != "" {
 		oldRes, err := readArtifact(*oldFile)
 		fatal(err)
 		newRes, err := readArtifact(*newFile)
 		fatal(err)
-		deltas, added, removed, regressed := compare(oldRes, newRes, *tol)
+		deltas, added, removed, regressed := compare(oldRes, newRes, *tol, *tolAllocs)
 
 		w := io.Writer(os.Stdout)
 		if *out != "" {
@@ -261,8 +309,8 @@ func main() {
 			w = f
 		}
 		fatal(renderDeltas(w, deltas, added, removed))
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks compared, tolerance %+.1f%%\n",
-			len(deltas), *tol*100)
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks compared, tolerance %+.1f%% ns/op, %+.1f%% allocs/op\n",
+			len(deltas), *tol*100, *tolAllocs*100)
 		if regressed {
 			fmt.Fprintln(os.Stderr, "benchjson: regression beyond tolerance")
 			os.Exit(1)

@@ -25,7 +25,7 @@ func TestParseBench(t *testing.T) {
 	if len(res) != 3 {
 		t.Fatalf("got %d results, want 3: %v", len(res), res)
 	}
-	cold := res["BenchmarkColdLoad-8"]
+	cold := res["BenchmarkColdLoad"]
 	if cold.Iterations != 124 || cold.NsPerOp != 9612340 {
 		t.Errorf("cold = %+v", cold)
 	}
@@ -35,11 +35,11 @@ func TestParseBench(t *testing.T) {
 	if cold.AllocsPerOp == nil || *cold.AllocsPerOp != 1290 {
 		t.Errorf("cold allocs/op = %v", cold.AllocsPerOp)
 	}
-	warm := res["BenchmarkWarmLoad-8"]
+	warm := res["BenchmarkWarmLoad"]
 	if warm.BytesPerOp != nil || warm.AllocsPerOp != nil {
 		t.Errorf("warm must not carry alloc metrics: %+v", warm)
 	}
-	tp := res["BenchmarkThroughput-8"]
+	tp := res["BenchmarkThroughput"]
 	if tp.MBPerSec == nil || *tp.MBPerSec != 512 {
 		t.Errorf("throughput MB/s = %v", tp.MBPerSec)
 	}
@@ -53,7 +53,6 @@ func TestParseBenchErrors(t *testing.T) {
 		{"banners only", "goos: linux\nPASS\nok  \trepro\t1.0s\n", "no benchmark result lines"},
 		{"truncated line", "BenchmarkColdLoad-8   \t     124\n", "malformed benchmark result"},
 		{"garbage metrics", "BenchmarkColdLoad-8 \tfast\tvery ns/op\n", "malformed benchmark result"},
-		{"duplicate", "BenchmarkA-8 \t 1\t 5.0 ns/op\nBenchmarkA-8 \t 1\t 5.0 ns/op\n", "duplicate benchmark"},
 		{"overflow iterations", "BenchmarkA-8 \t 99999999999999999999\t 5.0 ns/op\n", "bad iteration count"},
 	}
 	for _, tc := range cases {
@@ -108,7 +107,7 @@ func TestCompare(t *testing.T) {
 		"BenchmarkAllocs-8": {Iterations: 10, NsPerOp: 90, AllocsPerOp: i64(20)}, // faster but 2× allocs
 		"BenchmarkAdded-8":  {Iterations: 10, NsPerOp: 50},
 	}
-	deltas, added, removed, regressed := compare(old, new, 0.10)
+	deltas, added, removed, regressed := compare(old, new, 0.10, 0.10)
 	if !regressed {
 		t.Fatal("expected a regression")
 	}
@@ -143,12 +142,98 @@ func TestCompare(t *testing.T) {
 // TestCompareCleanPass asserts the no-regression path reports nothing.
 func TestCompareCleanPass(t *testing.T) {
 	res := map[string]Result{"BenchmarkA-8": {Iterations: 1, NsPerOp: 100, AllocsPerOp: i64(5)}}
-	deltas, added, removed, regressed := compare(res, res, 0.10)
+	deltas, added, removed, regressed := compare(res, res, 0.10, 0.10)
 	if regressed || len(added) != 0 || len(removed) != 0 {
 		t.Fatalf("self-comparison must be clean: %+v %v %v", deltas, added, removed)
 	}
 	if d := deltas[0]; d.NsChange != 0 || *d.AllocsChange != 0 {
 		t.Errorf("self-delta nonzero: %+v", d)
+	}
+}
+
+// TestParseBenchNormalizesProcsSuffix: a baseline written on one
+// machine must compare against a run on another with a different
+// GOMAXPROCS — the -N name suffix is stripped at parse time.
+func TestParseBenchNormalizesProcsSuffix(t *testing.T) {
+	res, err := parseBench(strings.NewReader("BenchmarkA-16 \t 2\t 7.5 ns/op\nBenchmarkB \t 1\t 3.0 ns/op\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, ok := res["BenchmarkA"]; !ok {
+		t.Errorf("BenchmarkA-16 not normalized: %v", res)
+	}
+	if _, ok := res["BenchmarkB"]; !ok {
+		t.Errorf("suffix-free BenchmarkB lost: %v", res)
+	}
+}
+
+// TestParseBenchBestOfN: `go test -count=N` repeats each benchmark; the
+// parser must keep the lowest-ns/op sample per name (the least
+// scheduler-disturbed run), regardless of which count order the samples
+// arrive in, including across differing -procs suffixes.
+func TestParseBenchBestOfN(t *testing.T) {
+	input := "BenchmarkA-8 \t 1\t 9.0 ns/op\t 12 allocs/op\n" +
+		"BenchmarkA-8 \t 1\t 5.0 ns/op\t 12 allocs/op\n" +
+		"BenchmarkA-8 \t 1\t 7.0 ns/op\t 12 allocs/op\n" +
+		"BenchmarkB-8 \t 1\t 4.0 ns/op\n" +
+		"BenchmarkB-16 \t 1\t 6.0 ns/op\n"
+	res, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2: %v", len(res), res)
+	}
+	a := res["BenchmarkA"]
+	if a.NsPerOp != 5.0 {
+		t.Errorf("best-of-3 ns/op = %v, want 5.0", a.NsPerOp)
+	}
+	if a.AllocsPerOp == nil || *a.AllocsPerOp != 12 {
+		t.Errorf("allocs/op = %v, want 12", a.AllocsPerOp)
+	}
+	if b := res["BenchmarkB"]; b.NsPerOp != 4.0 {
+		t.Errorf("min across normalized proc suffixes = %v, want 4.0", b.NsPerOp)
+	}
+}
+
+// TestParseBenchCustomMetrics: b.ReportMetric units appear between
+// ns/op and the -benchmem columns; they must land in Extra without
+// corrupting B/op or allocs/op parsing.
+func TestParseBenchCustomMetrics(t *testing.T) {
+	input := "BenchmarkStream-4 \t 1\t 123456 ns/op\t 98304 retained-B/op\t 513678 B/op\t 1290 allocs/op\n"
+	res, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r := res["BenchmarkStream"]
+	if r.NsPerOp != 123456 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 513678 {
+		t.Errorf("B/op = %v", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 1290 {
+		t.Errorf("allocs/op = %v", r.AllocsPerOp)
+	}
+	if r.Extra["retained-B/op"] != 98304 {
+		t.Errorf("extra = %v", r.Extra)
+	}
+}
+
+// TestCompareSplitTolerance: allocs/op is deterministic for the same
+// code, so the gate can hold it much tighter than the noisy ns/op.
+func TestCompareSplitTolerance(t *testing.T) {
+	old := map[string]Result{"BenchmarkA": {Iterations: 1, NsPerOp: 100, AllocsPerOp: i64(100)}}
+	new := map[string]Result{"BenchmarkA": {Iterations: 1, NsPerOp: 118, AllocsPerOp: i64(108)}}
+	// +18% ns within the generous 25%; +8% allocs breaches the tight 5%.
+	if _, _, _, regressed := compare(old, new, 0.25, 0.05); !regressed {
+		t.Error("8% allocs growth must fail a 5% allocs tolerance")
+	}
+	// Both within their own tolerances passes, even though allocs growth
+	// would breach the ns tolerance if they shared one.
+	new["BenchmarkA"] = Result{Iterations: 1, NsPerOp: 118, AllocsPerOp: i64(103)}
+	if _, _, _, regressed := compare(old, new, 0.25, 0.05); regressed {
+		t.Error("deltas within split tolerances must pass")
 	}
 }
 
@@ -161,7 +246,7 @@ func TestParseBenchIgnoresProse(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	if r := res["BenchmarkA-8"]; r.Iterations != 2 || r.NsPerOp != 7.5 {
+	if r := res["BenchmarkA"]; r.Iterations != 2 || r.NsPerOp != 7.5 {
 		t.Errorf("got %+v", r)
 	}
 }

@@ -88,7 +88,8 @@ func main() {
 		for i := range ms {
 			xs = append(xs, f(&ms[i]))
 		}
-		return stats.Median(xs), stats.Quantile(xs, 0.9)
+		s := stats.SortedInPlace(xs)
+		return s.Median(), s.Quantile(0.9)
 	}
 	if len(landing) > 0 && len(internal) > 0 {
 		fmt.Fprintf(os.Stderr, "\n%d landing pages, %d internal pages\n", len(landing), len(internal))

@@ -15,10 +15,13 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -51,6 +54,8 @@ func main() {
 		retries       = flag.Int("retries", 0, "max load attempts per page (0 = default 3)")
 		budget        = flag.Float64("budget", 0, "failure budget as a fraction of sites (0 = default 0.25, negative = unlimited)")
 		stats         = flag.Bool("stats", false, "print run metrics to stderr")
+		stream        = flag.Bool("stream", false, "stream CSV rows as sites complete (constant memory) instead of building the full result")
+		window        = flag.Int("window", 0, "streaming reorder window in sites (0 = 4×workers; with -stream)")
 	)
 	flag.Parse()
 
@@ -97,6 +102,26 @@ func main() {
 		fatal(runErr)
 		return
 	}
+	if *stream {
+		// Constant-memory path: rows hit stdout as sites retire, and only
+		// sketch aggregates and outcomes survive the run.
+		sink, err := core.NewCSVSink(os.Stdout)
+		fatal(err)
+		sres, runErr := st.RunStream(list, core.StreamConfig{
+			Sinks:  []core.SiteSink{sink},
+			Window: *window,
+		})
+		if sres != nil && (*stats || sres.FailedSites() > 0) {
+			fmt.Fprintf(os.Stderr, "webmeasure: %d/%d sites measured, %d failed (streamed: peak %d in flight, %d shards)\n",
+				sres.Agg.Sites, len(sres.Outcomes), sres.FailedSites(), sres.MaxInFlight, len(sres.Shards))
+			if *stats {
+				sres.Stats.Render(os.Stderr)
+				printMemReport(os.Stderr)
+			}
+		}
+		fatal(runErr)
+		return
+	}
 	res, runErr := st.Run(list)
 	if res != nil {
 		if *stats || res.FailedSites() > 0 {
@@ -110,6 +135,25 @@ func main() {
 		fatal(core.WriteMeasurementsCSV(os.Stdout, res))
 	}
 	fatal(runErr)
+}
+
+// printMemReport writes post-run memory numbers: live and cumulative
+// heap from the runtime, plus the process peak RSS when the kernel
+// exposes it. This is how the streaming engine's constant-memory claim
+// is checked from the command line.
+func printMemReport(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "webmeasure: heap %.1f MB live, %.1f MB allocated cumulatively, %.1f MB from OS\n",
+		float64(ms.HeapAlloc)/1e6, float64(ms.TotalAlloc)/1e6, float64(ms.Sys)/1e6)
+	if b, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if strings.HasPrefix(line, "VmHWM:") {
+				fmt.Fprintf(w, "webmeasure: peak RSS %s\n",
+					strings.TrimSpace(strings.TrimPrefix(line, "VmHWM:")))
+			}
+		}
+	}
 }
 
 // writeHARs fetches each page once and dumps full HAR documents.
@@ -142,7 +186,9 @@ func writeHARs(web *webgen.Web, list *hispar.List, seed int64, dir string) {
 			name := sanitize(u) + ".har.json"
 			f, err := os.Create(filepath.Join(dir, name))
 			fatal(err)
-			fatal(log.WriteJSON(f))
+			bw := bufio.NewWriterSize(f, 1<<16)
+			fatal(log.WriteJSON(bw))
+			fatal(bw.Flush())
 			fatal(f.Close())
 			n++
 		}

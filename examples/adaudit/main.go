@@ -65,11 +65,12 @@ func main() {
 			hbMissed = append(hbMissed, s.Domain)
 		}
 	}
+	sl, si := stats.SortedInPlace(l), stats.SortedInPlace(in)
 	fmt.Printf("tracking requests per page (filter-list matches):\n")
 	fmt.Printf("  landing : median %.0f, p80 %.0f, max %.0f\n",
-		stats.Median(l), stats.Quantile(l, 0.8), stats.Quantile(l, 1))
+		sl.Median(), sl.Quantile(0.8), sl.Quantile(1))
 	fmt.Printf("  internal: median %.0f, p80 %.0f, max %.0f\n\n",
-		stats.Median(in), stats.Quantile(in, 0.8), stats.Quantile(in, 1))
+		si.Median(), si.Quantile(0.8), si.Quantile(1))
 
 	fmt.Printf("header bidding: %d sites on the landing page, %d more ONLY on internal pages\n",
 		hbLanding, hbInternalOnly)

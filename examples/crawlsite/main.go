@@ -73,13 +73,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	so, ss := stats.SortedInPlace(objs), stats.SortedInPlace(sizes)
 	fmt.Printf("sampled %d internal pages:\n", len(internal))
 	fmt.Printf("  #objects  p5=%.0f p25=%.0f p50=%.0f p75=%.0f p95=%.0f   (landing: %d)\n",
-		stats.Quantile(objs, .05), stats.Quantile(objs, .25), stats.Median(objs),
-		stats.Quantile(objs, .75), stats.Quantile(objs, .95), ll.ObjectCount())
+		so.Quantile(.05), so.Quantile(.25), so.Median(),
+		so.Quantile(.75), so.Quantile(.95), ll.ObjectCount())
 	fmt.Printf("  size (MB) p5=%.1f p25=%.1f p50=%.1f p75=%.1f p95=%.1f   (landing: %.1f)\n",
-		stats.Quantile(sizes, .05), stats.Quantile(sizes, .25), stats.Median(sizes),
-		stats.Quantile(sizes, .75), stats.Quantile(sizes, .95), float64(ll.TotalBytes())/1e6)
+		ss.Quantile(.05), ss.Quantile(.25), ss.Median(),
+		ss.Quantile(.75), ss.Quantile(.95), float64(ll.TotalBytes())/1e6)
 	fmt.Println("\nInternal pages differ not only from the landing page but from one")
 	fmt.Println("another — a random 19-page subset would shift these medians only a little.")
 }

@@ -20,6 +20,45 @@ var csvHeader = []string{
 	"third_parties", "depth2plus",
 }
 
+// emitMeasurementRow writes one dataset row for page p of site s. It is
+// shared by the in-memory writer and the streaming CSVSink so both
+// produce identical bytes.
+func emitMeasurementRow(cw *csv.Writer, s *SiteResult, p *PageMeasurement, kind string) error {
+	deep := 0
+	for d := 2; d < len(p.DepthCounts); d++ {
+		deep += p.DepthCounts[d]
+	}
+	return cw.Write([]string{
+		s.Domain, strconv.Itoa(s.Rank), s.Category, kind, p.URL, p.Scheme,
+		strconv.FormatInt(p.Bytes, 10), strconv.Itoa(p.Objects),
+		strconv.FormatInt(p.PLT.Milliseconds(), 10),
+		strconv.FormatInt(p.SpeedIndex.Milliseconds(), 10),
+		strconv.FormatInt(p.OnLoad.Milliseconds(), 10),
+		strconv.Itoa(p.NonCacheable), strconv.FormatInt(p.CacheableBytes, 10),
+		strconv.FormatInt(p.CDNBytes, 10), strconv.Itoa(p.CDNHits), strconv.Itoa(p.CDNMisses),
+		strconv.Itoa(p.UniqueDomains), strconv.Itoa(p.Hints),
+		strconv.Itoa(p.Handshakes), strconv.FormatInt(p.HandshakeTime.Milliseconds(), 10),
+		strconv.Itoa(p.TrackerRequests), strconv.Itoa(p.AdSlots),
+		strconv.FormatBool(p.HasHB), strconv.FormatBool(p.MixedContent),
+		strconv.FormatBool(p.InsecureRedirect),
+		strconv.Itoa(len(p.ThirdParties)), strconv.Itoa(deep),
+	})
+}
+
+// emitSiteRows writes one site's rows: the landing page, then each
+// internal page in measurement order.
+func emitSiteRows(cw *csv.Writer, s *SiteResult) error {
+	if err := emitMeasurementRow(cw, s, &s.Landing, "landing"); err != nil {
+		return err
+	}
+	for j := range s.Internal {
+		if err := emitMeasurementRow(cw, s, &s.Internal[j], "internal"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteMeasurementsCSV writes the study's per-page measurements as the
 // public dataset.
 func WriteMeasurementsCSV(w io.Writer, res *StudyResult) error {
@@ -27,36 +66,9 @@ func WriteMeasurementsCSV(w io.Writer, res *StudyResult) error {
 	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
-	emit := func(s *SiteResult, p *PageMeasurement, kind string) error {
-		deep := 0
-		for d := 2; d < len(p.DepthCounts); d++ {
-			deep += p.DepthCounts[d]
-		}
-		return cw.Write([]string{
-			s.Domain, strconv.Itoa(s.Rank), s.Category, kind, p.URL, p.Scheme,
-			strconv.FormatInt(p.Bytes, 10), strconv.Itoa(p.Objects),
-			strconv.FormatInt(p.PLT.Milliseconds(), 10),
-			strconv.FormatInt(p.SpeedIndex.Milliseconds(), 10),
-			strconv.FormatInt(p.OnLoad.Milliseconds(), 10),
-			strconv.Itoa(p.NonCacheable), strconv.FormatInt(p.CacheableBytes, 10),
-			strconv.FormatInt(p.CDNBytes, 10), strconv.Itoa(p.CDNHits), strconv.Itoa(p.CDNMisses),
-			strconv.Itoa(p.UniqueDomains), strconv.Itoa(p.Hints),
-			strconv.Itoa(p.Handshakes), strconv.FormatInt(p.HandshakeTime.Milliseconds(), 10),
-			strconv.Itoa(p.TrackerRequests), strconv.Itoa(p.AdSlots),
-			strconv.FormatBool(p.HasHB), strconv.FormatBool(p.MixedContent),
-			strconv.FormatBool(p.InsecureRedirect),
-			strconv.Itoa(len(p.ThirdParties)), strconv.Itoa(deep),
-		})
-	}
 	for i := range res.Sites {
-		s := &res.Sites[i]
-		if err := emit(s, &s.Landing, "landing"); err != nil {
+		if err := emitSiteRows(cw, &res.Sites[i]); err != nil {
 			return err
-		}
-		for j := range s.Internal {
-			if err := emit(s, &s.Internal[j], "internal"); err != nil {
-				return err
-			}
 		}
 	}
 	cw.Flush()

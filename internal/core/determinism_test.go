@@ -17,7 +17,7 @@ import (
 // end-to-end witness behind detlint's static contract: if any code path
 // consults the wall clock, the global RNG, or map iteration order, some
 // byte below changes between two calls.
-func studyArtifacts(t *testing.T, workers, procs int) (csv, warmCSV, har []byte) {
+func studyArtifacts(t *testing.T, workers, procs int) (csv, streamCSV, warmCSV, har []byte) {
 	t.Helper()
 	old := runtime.GOMAXPROCS(procs)
 	defer runtime.GOMAXPROCS(old)
@@ -30,6 +30,21 @@ func studyArtifacts(t *testing.T, workers, procs int) (csv, warmCSV, har []byte)
 	var csvBuf bytes.Buffer
 	if err := WriteMeasurementsCSV(&csvBuf, res); err != nil {
 		t.Fatalf("write csv: %v", err)
+	}
+
+	// The same dataset through the streaming engine: RunStream + CSVSink
+	// must publish the same bytes at every parallelism setting.
+	var streamBuf bytes.Buffer
+	sink, err := NewCSVSink(&streamBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stStream, err := NewStudy(web, StudyConfig{Seed: 7, LandingFetches: 2, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stStream.RunStream(list, StreamConfig{Sinks: []SiteSink{sink}}); err != nil {
+		t.Fatalf("streaming study: %v", err)
 	}
 
 	st, err := NewStudy(web, StudyConfig{Seed: 7, LandingFetches: 2, Workers: workers})
@@ -76,7 +91,7 @@ func studyArtifacts(t *testing.T, workers, procs int) (csv, warmCSV, har []byte)
 			}
 		}
 	}
-	return csvBuf.Bytes(), warmBuf.Bytes(), harBuf.Bytes()
+	return csvBuf.Bytes(), streamBuf.Bytes(), warmBuf.Bytes(), harBuf.Bytes()
 }
 
 // TestArtifactsInvariantAcrossParallelism is the determinism regression
@@ -86,12 +101,18 @@ func studyArtifacts(t *testing.T, workers, procs int) (csv, warmCSV, har []byte)
 // dependence — a shared RNG, a wall-clock read in a measurement path, an
 // unsorted map emission — shows up here as a byte diff.
 func TestArtifactsInvariantAcrossParallelism(t *testing.T) {
-	csv1, warm1, har1 := studyArtifacts(t, 1, 1)
-	csv8, warm8, har8 := studyArtifacts(t, 8, runtime.NumCPU())
+	csv1, stream1, warm1, har1 := studyArtifacts(t, 1, 1)
+	csv8, stream8, warm8, har8 := studyArtifacts(t, 8, runtime.NumCPU())
 
 	if !bytes.Equal(csv1, csv8) {
 		t.Errorf("measurement CSV differs between Workers=1/GOMAXPROCS=1 and Workers=8/GOMAXPROCS=%d (%d vs %d bytes)",
 			runtime.NumCPU(), len(csv1), len(csv8))
+	}
+	if !bytes.Equal(stream1, stream8) {
+		t.Errorf("streamed CSV differs between parallelism settings (%d vs %d bytes)", len(stream1), len(stream8))
+	}
+	if !bytes.Equal(stream1, csv1) {
+		t.Errorf("streamed CSV differs from in-memory CSV at Workers=1 (%d vs %d bytes)", len(stream1), len(csv1))
 	}
 	if !bytes.Equal(warm1, warm8) {
 		t.Errorf("warm CSV differs between parallelism settings (%d vs %d bytes)", len(warm1), len(warm8))

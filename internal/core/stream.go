@@ -1,0 +1,655 @@
+package core
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/hispar"
+	"repro/internal/runstats"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// This file is the streaming study engine: HAR → metrics → aggregates
+// with constant memory. Workers measure sites exactly as Study.Run
+// always has; completed SiteResults flow through a bounded reorder
+// window to a single fold goroutine that retires them in site-rank
+// order — through the configured sinks (streaming CSV, collectors) and
+// into rank-sharded accumulators of mergeable quantile sketches — and
+// then drops them. Peak retained SiteResults are bounded by the window
+// regardless of list size, which is what lets papereval-style studies
+// scale from H1K toward H100K without holding the result set.
+//
+// Determinism: because the fold runs in site-rank order, every
+// accumulated float (ratio log-sums, sketch Sums) sees the same
+// addition order at any worker count, so streamed aggregates and CSV
+// bytes are bit-identical across parallelism — the same invariant
+// TestArtifactsInvariantAcrossParallelism enforces for the in-memory
+// path. Shards close in rank order and merge into the study-wide
+// aggregate immediately, so at most one shard accumulator is live at a
+// time.
+
+// Metric enumerates the per-page quantities the streaming aggregator
+// tracks as full distributions. Units match the experiment tables:
+// durations in seconds, everything else in its natural count.
+type Metric int
+
+const (
+	MetricBytes Metric = iota
+	MetricObjects
+	MetricPLT
+	MetricSpeedIndex
+	MetricOnLoad
+	MetricNonCacheable
+	MetricDomains
+	numMetrics
+)
+
+var metricNames = [numMetrics]string{
+	"bytes", "objects", "plt_s", "speed_index_s", "onload_s", "noncacheable", "domains",
+}
+
+func (m Metric) String() string {
+	if m < 0 || m >= numMetrics {
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+	return metricNames[m]
+}
+
+// metricOf reads one metric from a page measurement.
+func metricOf(p *PageMeasurement, m Metric) float64 {
+	switch m {
+	case MetricBytes:
+		return float64(p.Bytes)
+	case MetricObjects:
+		return float64(p.Objects)
+	case MetricPLT:
+		return p.PLT.Seconds()
+	case MetricSpeedIndex:
+		return p.SpeedIndex.Seconds()
+	case MetricOnLoad:
+		return p.OnLoad.Seconds()
+	case MetricNonCacheable:
+		return float64(p.NonCacheable)
+	case MetricDomains:
+		return float64(p.UniqueDomains)
+	default:
+		return 0
+	}
+}
+
+// metricAgg is one metric's streaming state: sketches over the three
+// distributions the paper keeps coming back to (landing values,
+// internal-page values, per-site landing−internal-median deltas), exact
+// delta sign counters, and the exact log-sum behind geometric-mean
+// ratios.
+type metricAgg struct {
+	delta    *stats.Sketch
+	landing  *stats.Sketch
+	internal *stats.Sketch
+
+	deltaPos, deltaNeg int
+	logRatioSum        float64
+	ratioN             int
+}
+
+// Aggregates is a constant-size accumulator of per-site study results —
+// the shard unit of the streaming engine. Fold sites in with
+// AccumulateSite; combine shards with Merge. Sketch reads carry the
+// sketch's documented relative error; counter and geomean reads are
+// exact.
+type Aggregates struct {
+	// Sites counts folded (surviving) sites.
+	Sites int
+	m     [numMetrics]metricAgg
+
+	// FewerObjectsButLarger counts sites whose landing page has fewer
+	// objects yet more bytes than the internal median (Fig 2b's 5% row).
+	FewerObjectsButLarger int
+	// UnseenTP sketches the per-site count of third parties contacted
+	// only by internal pages (Fig 8b).
+	UnseenTP *stats.Sketch
+	// HTTPLandings, InsecureInternalSites, and MixedInternalSites count
+	// sites for the §6.1 security rows.
+	HTTPLandings          int
+	InsecureInternalSites int
+	MixedInternalSites    int
+}
+
+// NewAggregates builds an empty accumulator at the default sketch
+// accuracy.
+func NewAggregates() *Aggregates {
+	a := &Aggregates{UnseenTP: stats.NewDefaultSketch()}
+	for i := range a.m {
+		a.m[i] = metricAgg{
+			delta:    stats.NewDefaultSketch(),
+			landing:  stats.NewDefaultSketch(),
+			internal: stats.NewDefaultSketch(),
+		}
+	}
+	return a
+}
+
+// AccumulateSite folds one surviving site into the accumulator and
+// returns the per-metric delta signs (+1, 0, −1), which the engine
+// reuses for its exact tail counters. The site result is not retained.
+func (a *Aggregates) AccumulateSite(s *SiteResult) [numMetrics]int8 {
+	a.Sites++
+	var signs [numMetrics]int8
+	var deltas [numMetrics]float64
+	for m := Metric(0); m < numMetrics; m++ {
+		ag := &a.m[m]
+		lv := metricOf(&s.Landing, m)
+		ag.landing.Insert(lv)
+		for i := range s.Internal {
+			ag.internal.Insert(metricOf(&s.Internal[i], m))
+		}
+		imed := s.InternalMedian(func(p *PageMeasurement) float64 { return metricOf(p, m) })
+		d := lv - imed
+		deltas[m] = d
+		ag.delta.Insert(d)
+		if d > 0 {
+			ag.deltaPos++
+			signs[m] = 1
+		} else if d < 0 {
+			ag.deltaNeg++
+			signs[m] = -1
+		}
+		// Same ratio rule as SiteResult.Ratio + the experiments' ratios
+		// helper: undefined (zero-median) and non-positive ratios drop.
+		if imed != 0 {
+			if r := lv / imed; r > 0 {
+				ag.logRatioSum += math.Log(r)
+				ag.ratioN++
+			}
+		}
+	}
+	if deltas[MetricObjects] < 0 && deltas[MetricBytes] > 0 {
+		a.FewerObjectsButLarger++
+	}
+	a.UnseenTP.Insert(float64(s.UnseenThirdParties()))
+	if s.Landing.Scheme == "http" {
+		a.HTTPLandings++
+	}
+	if s.InsecureInternal() > 0 {
+		a.InsecureInternalSites++
+	}
+	if s.MixedInternal() > 0 {
+		a.MixedInternalSites++
+	}
+	return signs
+}
+
+// Merge folds other into a. Counter merges are exact and commutative;
+// float log-sums add in call order, so merge shards in rank order for
+// bit-stable geomeans.
+func (a *Aggregates) Merge(other *Aggregates) error {
+	if other == nil {
+		return nil
+	}
+	a.Sites += other.Sites
+	a.FewerObjectsButLarger += other.FewerObjectsButLarger
+	a.HTTPLandings += other.HTTPLandings
+	a.InsecureInternalSites += other.InsecureInternalSites
+	a.MixedInternalSites += other.MixedInternalSites
+	if err := a.UnseenTP.Merge(other.UnseenTP); err != nil {
+		return err
+	}
+	for m := range a.m {
+		ag, og := &a.m[m], &other.m[m]
+		ag.deltaPos += og.deltaPos
+		ag.deltaNeg += og.deltaNeg
+		ag.logRatioSum += og.logRatioSum
+		ag.ratioN += og.ratioN
+		for _, pair := range [][2]*stats.Sketch{
+			{ag.delta, og.delta}, {ag.landing, og.landing}, {ag.internal, og.internal},
+		} {
+			if err := pair[0].Merge(pair[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Delta returns the sketch of per-site landing−internal-median deltas.
+func (a *Aggregates) Delta(m Metric) *stats.Sketch { return a.m[m].delta }
+
+// Landing returns the sketch of landing-page values.
+func (a *Aggregates) Landing(m Metric) *stats.Sketch { return a.m[m].landing }
+
+// Internal returns the sketch of internal-page values.
+func (a *Aggregates) Internal(m Metric) *stats.Sketch { return a.m[m].internal }
+
+// FracDeltaPositive returns the exact fraction of sites whose landing
+// page exceeds the internal median on m (the paper's headline "65% of
+// sites" style numbers).
+func (a *Aggregates) FracDeltaPositive(m Metric) float64 {
+	if a.Sites == 0 {
+		return 0
+	}
+	return float64(a.m[m].deltaPos) / float64(a.Sites)
+}
+
+// FracDeltaNegative is the landing-smaller (or landing-faster, for time
+// metrics) counterpart of FracDeltaPositive, equally exact.
+func (a *Aggregates) FracDeltaNegative(m Metric) float64 {
+	if a.Sites == 0 {
+		return 0
+	}
+	return float64(a.m[m].deltaNeg) / float64(a.Sites)
+}
+
+// GeomeanRatio returns the exact geometric mean of per-site
+// landing/internal-median ratios of m. When sites fold in rank order it
+// matches stats.GeometricMean over the experiments' ratios helper bit
+// for bit.
+func (a *Aggregates) GeomeanRatio(m Metric) float64 {
+	if a.m[m].ratioN == 0 {
+		return 0
+	}
+	return math.Exp(a.m[m].logRatioSum / float64(a.m[m].ratioN))
+}
+
+// TailCounters are exact delta-sign counters over a rank slice of the
+// list (the paper's Ht30 / Hb100 cuts), cheap enough to keep per tail
+// without sketches.
+type TailCounters struct {
+	N        int
+	Pos, Neg [numMetrics]int
+}
+
+func (t *TailCounters) accumulate(signs [numMetrics]int8) {
+	t.N++
+	for m, s := range signs {
+		if s > 0 {
+			t.Pos[m]++
+		} else if s < 0 {
+			t.Neg[m]++
+		}
+	}
+}
+
+// FracPositive returns the fraction of the tail's sites with a positive
+// delta on m.
+func (t *TailCounters) FracPositive(m Metric) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Pos[m]) / float64(t.N)
+}
+
+// FracNegative returns the fraction with a negative delta on m.
+func (t *TailCounters) FracNegative(m Metric) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Neg[m]) / float64(t.N)
+}
+
+// ShardSummary is the footprint a closed rank shard leaves behind: its
+// site-index range, survival counts, and two headline medians read from
+// the shard's sketches just before they merged into the study-wide
+// aggregate. It is the streaming analogue of a rank-binned table row.
+type ShardSummary struct {
+	Lo, Hi           int // half-open site-index range [Lo, Hi)
+	Sites, Failed    int
+	MedianLandingPLT float64 // seconds
+	MedianDeltaBytes float64
+}
+
+// SiteSink consumes sites as the streaming fold retires them.
+// ConsumeSite is called exactly once per input site — failed ones
+// included (with a zero SiteResult), so sinks can account for every
+// input — always from a single goroutine and always in site-index
+// order. Flush is called once after the last site.
+type SiteSink interface {
+	ConsumeSite(res *SiteResult, out *Outcome) error
+	Flush() error
+}
+
+// StreamConfig shapes one streaming run.
+type StreamConfig struct {
+	// Sinks receive every site in rank order (e.g. NewCSVSink).
+	Sinks []SiteSink
+	// ShardSize is the number of consecutive sites per accumulator
+	// shard (default 256).
+	ShardSize int
+	// Window bounds how many sites may be dispatched but not yet folded
+	// — the reorder buffer, and therefore the peak number of retained
+	// SiteResults (default 4×Workers).
+	Window int
+	// TopK and BottomK size the exact tail counters (defaults 30 and
+	// 100: the paper's Ht30 and Hb100 cuts). They count surviving sites
+	// from the head and tail of the rank order.
+	TopK, BottomK int
+}
+
+func (c StreamConfig) withDefaults(workers int) StreamConfig {
+	if c.ShardSize <= 0 {
+		c.ShardSize = 256
+	}
+	if c.Window <= 0 {
+		c.Window = 4 * workers
+	}
+	if c.Window < workers+1 {
+		c.Window = workers + 1
+	}
+	if c.TopK <= 0 {
+		c.TopK = 30
+	}
+	if c.BottomK <= 0 {
+		c.BottomK = 100
+	}
+	return c
+}
+
+// StreamResult is what a streaming run retains: outcomes (small, one
+// record per input site), the merged constant-size aggregates, and
+// per-shard summaries — never the per-site measurements themselves.
+type StreamResult struct {
+	List     *hispar.List
+	Outcomes []Outcome
+	// Agg holds the study-wide aggregates, merged from rank shards.
+	Agg *Aggregates
+	// Top and Bottom are exact delta-sign counters over the first TopK
+	// and last BottomK surviving sites.
+	Top, Bottom TailCounters
+	// Shards summarizes each closed rank shard in order.
+	Shards []ShardSummary
+	Stats  runstats.Snapshot
+	// MaxInFlight is the peak number of completed-but-unfolded sites the
+	// reorder window held — the engine's memory high-water mark in site
+	// results (always ≤ the configured Window).
+	MaxInFlight int
+}
+
+// FailedSites returns how many input sites yielded no measurement.
+func (r *StreamResult) FailedSites() int {
+	n := 0
+	for i := range r.Outcomes {
+		if !r.Outcomes[i].OK {
+			n++
+		}
+	}
+	return n
+}
+
+// siteDone carries one measured site from a worker to the fold.
+type siteDone struct {
+	i   int
+	res SiteResult
+	out Outcome
+}
+
+// streamFold owns all single-goroutine fold state: sinks, the live
+// shard, tail counters, and error accumulation. None of it is locked —
+// only the fold goroutine (and, after it exits, the caller) touches it.
+type streamFold struct {
+	st  *Study
+	cfg StreamConfig
+	res *StreamResult
+
+	shard       *Aggregates
+	shardLo     int
+	shardFailed int
+
+	okCount    int
+	bottomRing [][numMetrics]int8
+	bottomNext int
+
+	sinkErr  error
+	siteErrs []error
+}
+
+// retire processes site d in rank order: shard boundary, outcome
+// bookkeeping, sinks, accumulators, tail counters.
+func (f *streamFold) retire(d *siteDone) {
+	if d.i > 0 && d.i%f.cfg.ShardSize == 0 {
+		f.closeShard(d.i)
+	}
+	f.res.Outcomes[d.i] = d.out
+	f.st.stats.Observe("site.attempts", float64(d.out.Attempts))
+	if f.sinkErr == nil {
+		for _, s := range f.cfg.Sinks {
+			if err := s.ConsumeSite(&d.res, &f.res.Outcomes[d.i]); err != nil {
+				f.sinkErr = fmt.Errorf("core: stream sink: %w", err)
+				break
+			}
+		}
+	}
+	if !d.out.OK {
+		f.shardFailed++
+		f.siteErrs = append(f.siteErrs, d.out.Err)
+		return
+	}
+	signs := f.shard.AccumulateSite(&d.res)
+	f.okCount++
+	if f.okCount <= f.cfg.TopK {
+		f.res.Top.accumulate(signs)
+	}
+	if len(f.bottomRing) < f.cfg.BottomK {
+		f.bottomRing = append(f.bottomRing, signs)
+	} else {
+		f.bottomRing[f.bottomNext] = signs
+		f.bottomNext = (f.bottomNext + 1) % f.cfg.BottomK
+	}
+}
+
+// closeShard summarizes the live shard over [shardLo, hi), merges it
+// into the study-wide aggregate, and starts a fresh one.
+func (f *streamFold) closeShard(hi int) {
+	if hi <= f.shardLo {
+		return
+	}
+	f.res.Shards = append(f.res.Shards, ShardSummary{
+		Lo: f.shardLo, Hi: hi,
+		Sites:            f.shard.Sites,
+		Failed:           f.shardFailed,
+		MedianLandingPLT: f.shard.Landing(MetricPLT).Median(),
+		MedianDeltaBytes: f.shard.Delta(MetricBytes).Median(),
+	})
+	// Rank order: shard s merges before any site of shard s+1 folds.
+	if err := f.res.Agg.Merge(f.shard); err != nil && f.sinkErr == nil {
+		f.sinkErr = err
+	}
+	f.shard = NewAggregates()
+	f.shardLo, f.shardFailed = hi, 0
+}
+
+// finish closes the last shard, flushes sinks, and folds the bottom
+// ring (the last ≤BottomK surviving sites, oldest slot first).
+func (f *streamFold) finish(n int) {
+	f.closeShard(n)
+	for _, s := range f.cfg.Sinks {
+		if err := s.Flush(); err != nil && f.sinkErr == nil {
+			f.sinkErr = fmt.Errorf("core: stream sink flush: %w", err)
+		}
+	}
+	for i := 0; i < len(f.bottomRing); i++ {
+		f.res.Bottom.accumulate(f.bottomRing[(f.bottomNext+i)%len(f.bottomRing)])
+	}
+}
+
+// RunStream measures every site in the list with the same fault-tolerant,
+// scheduling-invariant semantics as Run, but streams results out instead
+// of accumulating them: sinks and shard accumulators consume each site in
+// rank order and the engine retains at most Window site results at any
+// moment. The failure budget works exactly as in Run: every site is
+// attempted, and the budget only decides whether an aggregate error is
+// reported alongside the (complete) result.
+func (st *Study) RunStream(list *hispar.List, cfg StreamConfig) (*StreamResult, error) {
+	cfg = cfg.withDefaults(st.cfg.Workers)
+	n := len(list.Sets)
+	// Validate the browser configuration before fanning out.
+	if _, err := st.newBrowser(st.cfg.Seed); err != nil {
+		return nil, err
+	}
+
+	res := &StreamResult{
+		List:     list,
+		Outcomes: make([]Outcome, n),
+		Agg:      NewAggregates(),
+	}
+	fold := &streamFold{st: st, cfg: cfg, res: res, shard: NewAggregates()}
+
+	jobs := make(chan int)
+	completed := make(chan siteDone, cfg.Window)
+	// window tokens bound dispatched-but-unfolded sites: acquired before
+	// a site is handed to a worker, released when the fold retires it.
+	// The fold never acquires, so the loop cannot deadlock.
+	window := make(chan struct{}, cfg.Window)
+
+	var workerWG sync.WaitGroup
+	// Operational telemetry only: worker utilization is real elapsed
+	// time by definition, so it goes through vclock.Wall — the sanctioned
+	// wall-clock accessor — and never touches measurement results.
+	wallStart := vclock.Wall()
+	for w := 0; w < st.cfg.Workers; w++ {
+		workerWG.Add(1)
+		go func(w int) {
+			defer workerWG.Done()
+			var busy time.Duration
+			sites := 0
+			for i := range jobs {
+				t0 := vclock.Wall()
+				r, out := st.measureSiteResilient(i, list.Sets[i])
+				busy += vclock.WallSince(t0)
+				sites++
+				completed <- siteDone{i: i, res: r, out: out}
+			}
+			if wall := vclock.WallSince(wallStart); wall > 0 {
+				st.stats.SetGauge(fmt.Sprintf("worker.%d.utilization", w), busy.Seconds()/wall.Seconds())
+			}
+			st.stats.Inc(fmt.Sprintf("worker.%d.sites", w), int64(sites))
+		}(w)
+	}
+
+	// The fold: a single goroutine retiring sites in rank order through
+	// a reorder buffer keyed by site index.
+	var foldWG sync.WaitGroup
+	foldWG.Add(1)
+	go func() {
+		defer foldWG.Done()
+		pending := make(map[int]siteDone, cfg.Window)
+		next := 0
+		for d := range completed {
+			pending[d.i] = d
+			if len(pending) > res.MaxInFlight {
+				res.MaxInFlight = len(pending)
+			}
+			for {
+				cur, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				fold.retire(&cur)
+				next++
+				<-window
+			}
+		}
+	}()
+
+	for i := 0; i < n; i++ {
+		window <- struct{}{}
+		jobs <- i
+	}
+	close(jobs)
+	workerWG.Wait()
+	close(completed)
+	foldWG.Wait()
+	fold.finish(n)
+	// Keep the analysis clock at the end of the study window.
+	st.clock.AdvanceTo(st.epoch.Add(time.Duration(n) * st.cfg.SitePacing))
+
+	st.stats.Inc("sites.total", int64(n))
+	st.stats.Inc("sites.ok", int64(n-len(fold.siteErrs)))
+	st.stats.Inc("sites.failed", int64(len(fold.siteErrs)))
+	if n > 0 {
+		st.stats.SetGauge("failure.budget.used", float64(len(fold.siteErrs))/float64(n))
+	}
+	st.stats.SetGauge("stream.window", float64(cfg.Window))
+	st.stats.SetGauge("stream.inflight.max", float64(res.MaxInFlight))
+	res.Stats = st.stats.Snapshot()
+
+	var err error
+	if st.cfg.FailureBudget >= 0 {
+		allowed := int(st.cfg.FailureBudget * float64(n))
+		if len(fold.siteErrs) > allowed {
+			err = fmt.Errorf("core: %d/%d sites failed, exceeding the failure budget of %d: %w",
+				len(fold.siteErrs), n, allowed, errors.Join(fold.siteErrs...))
+		}
+	}
+	if fold.sinkErr != nil {
+		err = errors.Join(err, fold.sinkErr)
+	}
+	return res, err
+}
+
+// csvSinkFlushEvery is how many sites a CSVSink buffers between flushes
+// of the underlying csv writer — batching writes without letting an
+// interrupted run hold back more than a window's worth of rows.
+const csvSinkFlushEvery = 64
+
+// CSVSink streams the per-page measurement dataset row by row as sites
+// retire, producing bytes identical to WriteMeasurementsCSV over the
+// same surviving sites — without ever holding more than one site.
+type CSVSink struct {
+	cw    *csv.Writer
+	sites int
+}
+
+// NewCSVSink writes the dataset header and returns the sink.
+func NewCSVSink(w io.Writer) (*CSVSink, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return nil, err
+	}
+	return &CSVSink{cw: cw}, nil
+}
+
+// ConsumeSite emits the site's rows (landing first, then internals);
+// failed sites contribute nothing, as in the in-memory dataset.
+func (c *CSVSink) ConsumeSite(res *SiteResult, out *Outcome) error {
+	if !out.OK {
+		return nil
+	}
+	if err := emitSiteRows(c.cw, res); err != nil {
+		return err
+	}
+	c.sites++
+	if c.sites%csvSinkFlushEvery == 0 {
+		c.cw.Flush()
+		if err := c.cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains the writer.
+func (c *CSVSink) Flush() error {
+	c.cw.Flush()
+	return c.cw.Error()
+}
+
+// collectSink rebuilds the in-memory survivors slice — how Run layers
+// on top of RunStream.
+type collectSink struct {
+	sites []SiteResult
+}
+
+func (c *collectSink) ConsumeSite(res *SiteResult, out *Outcome) error {
+	if out.OK {
+		c.sites = append(c.sites, *res)
+	}
+	return nil
+}
+
+func (c *collectSink) Flush() error { return nil }

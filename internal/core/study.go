@@ -1,11 +1,8 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -19,6 +16,7 @@ import (
 	"repro/internal/psl"
 	"repro/internal/runstats"
 	"repro/internal/simnet"
+	"repro/internal/stats"
 	"repro/internal/vclock"
 	"repro/internal/webgen"
 )
@@ -112,12 +110,7 @@ func (s *SiteResult) InternalMedian(f func(*PageMeasurement) float64) float64 {
 	for i := range s.Internal {
 		vals[i] = f(&s.Internal[i])
 	}
-	sort.Float64s(vals)
-	n := len(vals)
-	if n%2 == 1 {
-		return vals[n/2]
-	}
-	return (vals[n/2-1] + vals[n/2]) / 2
+	return stats.SortedInPlace(vals).Median()
 }
 
 // Delta returns f(landing) − median_internal(f): the paper's per-site
@@ -441,20 +434,16 @@ func (st *Study) MeasureSite(b *browser.Browser, set hispar.URLSet) (SiteResult,
 
 // medianizeTimings collapses repeated fetches of the same page into one
 // measurement whose timing fields are medians; structural fields are
-// identical across fetches and taken from the first.
+// identical across fetches and taken from the first. One buffer serves
+// all seven medians — this runs once per landing page, every site.
 func medianizeTimings(fetches []PageMeasurement) PageMeasurement {
 	out := fetches[0]
+	buf := make([]float64, len(fetches))
 	med := func(f func(*PageMeasurement) float64) float64 {
-		vals := make([]float64, len(fetches))
 		for i := range fetches {
-			vals[i] = f(&fetches[i])
+			buf[i] = f(&fetches[i])
 		}
-		sort.Float64s(vals)
-		n := len(vals)
-		if n%2 == 1 {
-			return vals[n/2]
-		}
-		return (vals[n/2-1] + vals[n/2]) / 2
+		return stats.SortedInPlace(buf).Median()
 	}
 	out.PLT = time.Duration(med(func(p *PageMeasurement) float64 { return float64(p.PLT) }))
 	out.SpeedIndex = time.Duration(med(func(p *PageMeasurement) float64 { return float64(p.SpeedIndex) }))
@@ -473,71 +462,20 @@ func medianizeTimings(fetches []PageMeasurement) PageMeasurement {
 // aggregate error (errors.Join of the per-site failures) alongside the
 // partial result. Measurements are a pure function of the list and the
 // config: the worker count and scheduling order never change them.
+//
+// Run is a thin layer over RunStream with a collecting sink: the
+// streaming engine does the measuring, and the sink rebuilds the
+// in-memory survivors slice in rank order.
 func (st *Study) Run(list *hispar.List) (*StudyResult, error) {
-	n := len(list.Sets)
-	results := make([]SiteResult, n)
-	outcomes := make([]Outcome, n)
-	// Validate the browser configuration before fanning out.
-	if _, err := st.newBrowser(st.cfg.Seed); err != nil {
+	col := &collectSink{}
+	sres, err := st.RunStream(list, StreamConfig{Sinks: []SiteSink{col}})
+	if sres == nil {
 		return nil, err
 	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	// Operational telemetry only: worker utilization is real elapsed
-	// time by definition, so it goes through vclock.Wall — the sanctioned
-	// wall-clock accessor — and never touches measurement results.
-	wallStart := vclock.Wall()
-	for w := 0; w < st.cfg.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var busy time.Duration
-			sites := 0
-			for i := range jobs {
-				t0 := vclock.Wall()
-				results[i], outcomes[i] = st.measureSiteResilient(i, list.Sets[i])
-				busy += vclock.WallSince(t0)
-				sites++
-			}
-			if wall := vclock.WallSince(wallStart); wall > 0 {
-				st.stats.SetGauge(fmt.Sprintf("worker.%d.utilization", w), busy.Seconds()/wall.Seconds())
-			}
-			st.stats.Inc(fmt.Sprintf("worker.%d.sites", w), int64(sites))
-		}(w)
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	// Keep the analysis clock at the end of the study window.
-	st.clock.AdvanceTo(st.epoch.Add(time.Duration(n) * st.cfg.SitePacing))
-
-	res := &StudyResult{List: list, Outcomes: outcomes}
-	var siteErrs []error
-	for i := range outcomes {
-		st.stats.Observe("site.attempts", float64(outcomes[i].Attempts))
-		if outcomes[i].OK {
-			res.Sites = append(res.Sites, results[i])
-		} else {
-			siteErrs = append(siteErrs, outcomes[i].Err)
-		}
-	}
-	st.stats.Inc("sites.total", int64(n))
-	st.stats.Inc("sites.ok", int64(n-len(siteErrs)))
-	st.stats.Inc("sites.failed", int64(len(siteErrs)))
-	if n > 0 {
-		st.stats.SetGauge("failure.budget.used", float64(len(siteErrs))/float64(n))
-	}
-	res.Stats = st.stats.Snapshot()
-
-	if st.cfg.FailureBudget >= 0 {
-		allowed := int(st.cfg.FailureBudget * float64(n))
-		if len(siteErrs) > allowed {
-			err := fmt.Errorf("core: %d/%d sites failed, exceeding the failure budget of %d: %w",
-				len(siteErrs), n, allowed, errors.Join(siteErrs...))
-			return res, err
-		}
-	}
-	return res, nil
+	return &StudyResult{
+		List:     list,
+		Sites:    col.sites,
+		Outcomes: sres.Outcomes,
+		Stats:    sres.Stats,
+	}, err
 }

@@ -39,6 +39,15 @@ type Config struct {
 	// RevisitDelay is the cold→warm gap of the repeat-view study
 	// (default 30m).
 	RevisitDelay time.Duration
+	// Stream routes the overview experiments (fig2a/b/c) through the
+	// constant-memory streaming engine instead of the in-memory study:
+	// counter- and geomean-backed rows are identical, quantile-backed
+	// rows within the sketch's relative error (see DESIGN.md).
+	Stream bool
+	// StreamWindow and StreamShardSize tune the streaming engine when
+	// Stream is set (0 = core defaults).
+	StreamWindow    int
+	StreamShardSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +103,8 @@ type Context struct {
 	buildStats hispar.BuildStats
 	study      *core.StudyResult
 	studyErr   error
+	stream     *core.StreamResult
+	streamErr  error
 	warm       *core.WarmStudyResult
 	warmErr    error
 }
@@ -236,6 +247,36 @@ func (c *Context) Study() (*core.StudyResult, error) {
 	}
 	c.study, c.studyErr = st.Run(list) //detlint:allow lockheld -- single-flight by design: concurrent callers must wait for the one study run
 	return c.study, c.studyErr
+}
+
+// StreamStudy returns the H1K study's streaming aggregates, running the
+// constant-memory engine on first use. It never materializes the site
+// results: only sketches, counters, and shard summaries survive.
+func (c *Context) StreamStudy() (*core.StreamResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stream != nil || c.streamErr != nil {
+		return c.stream, c.streamErr
+	}
+	list, _, err := c.listLocked()
+	if err != nil {
+		c.streamErr = err
+		return nil, err
+	}
+	st, err := core.NewStudy(c.webLocked(), core.StudyConfig{
+		Seed:           c.Cfg.Seed,
+		LandingFetches: c.Cfg.LandingFetches,
+		Workers:        c.Cfg.Workers,
+	})
+	if err != nil {
+		c.streamErr = err
+		return nil, err
+	}
+	c.stream, c.streamErr = st.RunStream(list, core.StreamConfig{ //detlint:allow lockheld -- single-flight by design: concurrent callers must wait for the one streaming run
+		Window:    c.Cfg.StreamWindow,
+		ShardSize: c.Cfg.StreamShardSize,
+	})
+	return c.stream, c.streamErr
 }
 
 // WarmStudy returns the cold→warm repeat-view study, running it on

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/browser"
 	"repro/internal/cdn"
@@ -17,6 +16,9 @@ import (
 // Paper: 65% of H1K (54% of Ht30) sites have landing pages larger than
 // the median of their internal pages; geometric-mean size ratio ≈ 1.34.
 func RunFig2a(ctx *Context) (*Report, error) {
+	if ctx.Cfg.Stream {
+		return runFig2aStream(ctx)
+	}
 	res, err := ctx.Study()
 	if err != nil {
 		return nil, err
@@ -42,6 +44,9 @@ func RunFig2a(ctx *Context) (*Report, error) {
 // landing page; geometric-mean object ratio ≈ 1.24; 5% of sites have
 // landing pages with fewer objects yet larger size.
 func RunFig2b(ctx *Context) (*Report, error) {
+	if ctx.Cfg.Stream {
+		return runFig2bStream(ctx)
+	}
 	res, err := ctx.Study()
 	if err != nil {
 		return nil, err
@@ -67,6 +72,9 @@ func RunFig2b(ctx *Context) (*Report, error) {
 // pages load faster for 56% of H1K, 77% of Ht30, and 59% of Hb100 —
 // despite being larger and having more objects.
 func RunFig2c(ctx *Context) (*Report, error) {
+	if ctx.Cfg.Stream {
+		return runFig2cStream(ctx)
+	}
 	res, err := ctx.Study()
 	if err != nil {
 		return nil, err
@@ -195,16 +203,17 @@ func RunFig3bc(ctx *Context) (*Report, error) {
 }
 
 // quartileSeries encodes (q, value) points for a box-plot-like summary.
+// One sort serves all five quantiles (stats.Quantile would re-copy and
+// re-sort the sample per call).
 func quartileSeries(xs []float64) [][2]float64 {
 	if len(xs) == 0 {
 		return nil
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	s := stats.NewSorted(xs)
 	qs := []float64{0.05, 0.25, 0.5, 0.75, 0.95}
 	out := make([][2]float64, 0, len(qs))
 	for _, q := range qs {
-		out = append(out, [2]float64{q, stats.Quantile(s, q)})
+		out = append(out, [2]float64{q, s.Quantile(q)})
 	}
 	return out
 }

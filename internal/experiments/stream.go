@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"repro/internal/core"
+)
+
+// This file holds the streaming variants of the overview experiments
+// (Fig 2a/b/c). When Config.Stream is set, the fig2 runners delegate
+// here: the same report rows are produced from the streaming engine's
+// constant-size aggregates instead of the in-memory site slice.
+//
+// Parity contract (asserted by TestStreamReportsMatchInMemory):
+//   - sign-fraction rows, tail (Ht30/Hb100) rows, the fewer-but-larger
+//     row, and geometric means are exact — bit-identical to the
+//     in-memory rows, because they come from integer counters and a
+//     rank-ordered log-sum;
+//   - quantile- and CDF-backed rows carry the sketch's relative error
+//     (DefaultSketchAlpha) against the closest-rank sample quantile.
+
+// runFig2aStream is RunFig2a over streaming aggregates.
+func runFig2aStream(ctx *Context) (*Report, error) {
+	sres, err := ctx.StreamStudy()
+	if err != nil {
+		return nil, err
+	}
+	agg := sres.Agg
+	r := &Report{ID: "fig2a", Title: "Landing vs internal page size (Fig 2a)"}
+	r.addRow("frac sites landing larger (H1K)", "0.65", agg.FracDeltaPositive(core.MetricBytes), "%.2f")
+	r.addRow("frac sites landing larger (Ht30)", "0.54", sres.Top.FracPositive(core.MetricBytes), "%.2f")
+	r.addRow("geomean size ratio L/I", "1.34", agg.GeomeanRatio(core.MetricBytes), "%.2f")
+	r.addRow("frac internal >=2MB larger", "0.05", agg.Delta(core.MetricBytes).FractionBelow(-2e6), "%.2f")
+	r.addRow("frac internal >=2MB smaller", "0.20", 1-agg.Delta(core.MetricBytes).FractionBelow(2e6), "%.2f")
+	pts := agg.Delta(core.MetricBytes).Points(33)
+	for i := range pts {
+		pts[i][0] /= 1e6
+	}
+	r.addSeries("H1K L.size-I.size (MB)", pts)
+	return r, nil
+}
+
+// runFig2bStream is RunFig2b over streaming aggregates.
+func runFig2bStream(ctx *Context) (*Report, error) {
+	sres, err := ctx.StreamStudy()
+	if err != nil {
+		return nil, err
+	}
+	agg := sres.Agg
+	r := &Report{ID: "fig2b", Title: "Landing vs internal object count (Fig 2b)"}
+	r.addRow("frac sites landing more objects (H1K)", "0.68", agg.FracDeltaPositive(core.MetricObjects), "%.2f")
+	r.addRow("frac sites landing more objects (Ht30)", "0.57", sres.Top.FracPositive(core.MetricObjects), "%.2f")
+	r.addRow("frac sites landing more objects (Hb100)", "0.68", sres.Bottom.FracPositive(core.MetricObjects), "%.2f")
+	r.addRow("geomean object ratio L/I", "1.24", agg.GeomeanRatio(core.MetricObjects), "%.2f")
+	fewer := 0.0
+	if agg.Sites > 0 {
+		fewer = float64(agg.FewerObjectsButLarger) / float64(agg.Sites)
+	}
+	r.addRow("frac fewer objects but larger", "0.05", fewer, "%.2f")
+	r.addSeries("H1K L.#obj-I.#obj", agg.Delta(core.MetricObjects).Points(33))
+	return r, nil
+}
+
+// runFig2cStream is RunFig2c over streaming aggregates.
+func runFig2cStream(ctx *Context) (*Report, error) {
+	sres, err := ctx.StreamStudy()
+	if err != nil {
+		return nil, err
+	}
+	agg := sres.Agg
+	r := &Report{ID: "fig2c", Title: "Landing vs internal PLT (Fig 2c)"}
+	r.addRow("frac sites landing faster (H1K)", "0.56", agg.FracDeltaNegative(core.MetricPLT), "%.2f")
+	r.addRow("frac sites landing faster (Ht30)", "0.77", sres.Top.FracNegative(core.MetricPLT), "%.2f")
+	r.addRow("frac sites landing faster (Hb100)", "0.59", sres.Bottom.FracNegative(core.MetricPLT), "%.2f")
+	r.addRow("median L.PLT (s)", "~2 (typical)", agg.Landing(core.MetricPLT).Median(), "%.2f")
+	r.addSeries("H1K L.PLT-I.PLT (s)", agg.Delta(core.MetricPLT).Points(33))
+	return r, nil
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// The streaming parity test runs the same reduced-scale study twice —
+// once in memory, once through the streaming engine — and holds the
+// fig2 reports to the parity contract documented in stream.go: exact
+// rows bit-identical, sketch rows within tolerance.
+
+var (
+	parityOnce sync.Once
+	parityMem  *Context
+	parityStr  *Context
+)
+
+func parityContexts(t *testing.T) (*Context, *Context) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("streaming parity test skipped in -short mode")
+	}
+	parityOnce.Do(func() {
+		base := Config{Seed: 11, Sites: 80, PerSite: 8, LandingFetches: 2}
+		parityMem = NewContext(base)
+		streamed := base
+		streamed.Stream = true
+		parityStr = NewContext(streamed)
+	})
+	return parityMem, parityStr
+}
+
+// exactRows are report rows backed by integer counters or rank-ordered
+// log-sums in the streaming engine — they must match bit for bit.
+var exactRows = map[string][]string{
+	"fig2a": {
+		"frac sites landing larger (H1K)",
+		"frac sites landing larger (Ht30)",
+		"geomean size ratio L/I",
+	},
+	"fig2b": {
+		"frac sites landing more objects (H1K)",
+		"frac sites landing more objects (Ht30)",
+		"frac sites landing more objects (Hb100)",
+		"geomean object ratio L/I",
+		"frac fewer objects but larger",
+	},
+	"fig2c": {
+		"frac sites landing faster (H1K)",
+		"frac sites landing faster (Ht30)",
+		"frac sites landing faster (Hb100)",
+	},
+}
+
+// sketchRows are quantile- or CDF-backed rows; tol is the absolute
+// tolerance granted on top of the sketch's relative error (fractions
+// can shift by the samples whose bucket straddles the threshold, and
+// small-sample medians by closest-rank vs interpolation).
+var sketchRows = map[string]map[string]float64{
+	"fig2a": {
+		"frac internal >=2MB larger":  0.05,
+		"frac internal >=2MB smaller": 0.05,
+	},
+	"fig2c": {
+		"median L.PLT (s)": 0.15,
+	},
+}
+
+func TestStreamReportsMatchInMemory(t *testing.T) {
+	mem, str := parityContexts(t)
+	for _, id := range []string{"fig2a", "fig2b", "fig2c"} {
+		exp, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		memRep, err := exp.Run(mem)
+		if err != nil {
+			t.Fatalf("%s in-memory: %v", id, err)
+		}
+		strRep, err := exp.Run(str)
+		if err != nil {
+			t.Fatalf("%s streamed: %v", id, err)
+		}
+		if len(memRep.Rows) != len(strRep.Rows) {
+			t.Fatalf("%s: row count %d vs %d", id, len(strRep.Rows), len(memRep.Rows))
+		}
+
+		for _, metric := range exactRows[id] {
+			want := memRep.MustValue(metric)
+			got := strRep.MustValue(metric)
+			if got != want {
+				t.Errorf("%s %q: streamed %v, in-memory %v — must be exact", id, metric, got, want)
+			}
+		}
+		for metric, tol := range sketchRows[id] {
+			want := memRep.MustValue(metric)
+			got := strRep.MustValue(metric)
+			bound := stats.DefaultSketchAlpha*math.Abs(want) + tol
+			if math.Abs(got-want) > bound {
+				t.Errorf("%s %q: streamed %v, in-memory %v (tol %v)", id, metric, got, want, bound)
+			}
+		}
+
+		// CDF series: identical x grids (exact min/max), y within bucket
+		// tolerance.
+		for name, memPts := range memRep.Series {
+			strPts, ok := strRep.Series[name]
+			if !ok {
+				t.Errorf("%s: streamed report missing series %q", id, name)
+				continue
+			}
+			if len(strPts) != len(memPts) {
+				t.Errorf("%s series %q: %d vs %d points", id, name, len(strPts), len(memPts))
+				continue
+			}
+			for i := range memPts {
+				if dx := math.Abs(strPts[i][0] - memPts[i][0]); dx > 1e-9*math.Abs(memPts[i][0])+1e-12 {
+					t.Errorf("%s series %q[%d]: x %v vs %v", id, name, i, strPts[i][0], memPts[i][0])
+				}
+				if dy := math.Abs(strPts[i][1] - memPts[i][1]); dy > 0.06 {
+					t.Errorf("%s series %q[%d]: F(x) %v vs %v", id, name, i, strPts[i][1], memPts[i][1])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamStudySingleFlight: repeated StreamStudy calls must reuse
+// the one run.
+func TestStreamStudySingleFlight(t *testing.T) {
+	_, str := parityContexts(t)
+	a, err := str.StreamStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := str.StreamStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("StreamStudy re-ran instead of returning the cached result")
+	}
+	if a.Agg.Sites == 0 {
+		t.Error("streaming study aggregated zero sites")
+	}
+}

@@ -219,9 +219,10 @@ func RunLoad(baseURL string, cfg LoadConfig) (*LoadReport, *runstats.Set, error)
 	}
 	if rep.Requests > 0 {
 		rep.HitRatio = float64(rep.Hits304) / float64(rep.Requests)
-		rep.P50ms = stats.Quantile(lats, 0.50)
-		rep.P90ms = stats.Quantile(lats, 0.90)
-		rep.P99ms = stats.Quantile(lats, 0.99)
+		sorted := stats.NewSorted(lats)
+		rep.P50ms = sorted.Quantile(0.50)
+		rep.P90ms = sorted.Quantile(0.90)
+		rep.P99ms = sorted.Quantile(0.99)
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.Throughput = float64(rep.Requests) / secs

@@ -76,6 +76,54 @@ func quantileSorted(s []float64, q float64) float64 {
 	return s[lo]*(1-frac) + s[hi]*frac
 }
 
+// Sorted is a sample sorted once up front, for callers that need
+// several quantiles of the same data. stats.Quantile copies and sorts
+// on every call, which turns a p50/p90/p99 readout into three sorts of
+// the same slice; Sorted pays for the sort exactly once.
+type Sorted struct {
+	xs []float64
+}
+
+// NewSorted copies and sorts xs.
+func NewSorted(xs []float64) Sorted {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Sorted{xs: s}
+}
+
+// SortedInPlace sorts xs in place and takes ownership of it — the
+// zero-allocation constructor for hot paths with a reusable buffer. The
+// caller must not use xs again except through the returned Sorted.
+func SortedInPlace(xs []float64) Sorted {
+	sort.Float64s(xs)
+	return Sorted{xs: xs}
+}
+
+// Len returns the sample size.
+func (s Sorted) Len() int { return len(s.xs) }
+
+// Quantile returns the q-quantile with the same interpolation rule as
+// stats.Quantile, without re-sorting.
+func (s Sorted) Quantile(q float64) float64 { return quantileSorted(s.xs, q) }
+
+// Median returns the 0.5-quantile.
+func (s Sorted) Median() float64 { return quantileSorted(s.xs, 0.5) }
+
+// Quantiles evaluates several quantiles over one sort.
+func (s Sorted) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(s.xs, q)
+	}
+	return out
+}
+
+// Quantiles sorts xs once and evaluates every requested quantile — the
+// n-quantile counterpart of Quantile for callers without a Sorted.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	return NewSorted(xs).Quantiles(qs...)
+}
+
 // MedianInt returns the median of integer samples as a float64.
 func MedianInt(xs []int) float64 {
 	f := make([]float64, len(xs))
