@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-baseline bench-gate serve-smoke lint lint-baseline ci fmt-check clean
+.PHONY: build test test-race bench bench-smoke bench-baseline bench-gate serve-smoke trace-smoke lint lint-baseline ci fmt-check clean
 
 # Accepted pre-existing lint findings; see `detlint -baseline`. The file
 # is committed (currently empty — the tree self-lints clean) so adopting
@@ -74,6 +74,18 @@ bench-gate:
 serve-smoke:
 	$(GO) run ./cmd/hisparserve smoke -seed 42 -loadseed 1 -n 12000 -clients 8
 
+# Trace determinism smoke: stream the same 120-site study once serial
+# and once parallel, both with full-detail tracing, then require
+# tracecheck to accept both Chrome trace files and find them
+# byte-identical — the tracer's worker-invariance contract, end to end
+# through the real CLI.
+trace-smoke:
+	$(GO) run ./cmd/webmeasure -sites 120 -persite 5 -fetches 3 -workers 1 \
+		-trace trace_w1.json -trace-detail phases > /dev/null
+	$(GO) run ./cmd/webmeasure -sites 120 -persite 5 -fetches 3 \
+		-trace trace_wN.json -trace-detail phases > /dev/null
+	$(GO) run ./cmd/tracecheck trace_w1.json trace_wN.json
+
 # Determinism lint: cmd/detlint type-checks every package in the module
 # and enforces the invariants the seeded pipeline depends on (no wall
 # clock, no global RNG, no order-dependent map emission, no untracked
@@ -102,6 +114,7 @@ ci: fmt-check
 	$(MAKE) test
 	$(MAKE) test-race
 	$(MAKE) serve-smoke
+	$(MAKE) trace-smoke
 
 clean:
 	$(GO) clean ./...

@@ -62,6 +62,8 @@ func serverFlags(fs *flag.FlagSet) *hisparserve.Config {
 	fs.DurationVar(&cfg.MaxAge, "maxage", 5*time.Minute, "freshness lifetime on cacheable payloads")
 	fs.Float64Var(&cfg.RatePerSec, "rate", 0, "API rate limit in requests/sec (0 disables)")
 	fs.IntVar(&cfg.Burst, "burst", 0, "rate-limit burst size")
+	fs.BoolVar(&cfg.EnablePprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes process internals)")
+	fs.IntVar(&cfg.TraceSpans, "tracespans", 0, "request spans kept for /debug/tracez (0 = default 256)")
 	return cfg
 }
 

@@ -18,24 +18,29 @@ import (
 
 	"repro/internal/asciiplot"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
+	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 42, "root RNG seed")
-		sites   = flag.Int("sites", 1000, "H1K-style list size")
-		perSite = flag.Int("persite", 20, "URLs per site (1 landing + N-1 internal)")
-		fetches = flag.Int("fetches", 10, "fetches per landing page")
-		expList = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		weeks   = flag.Int("weeks", 10, "stability experiment weeks")
-		uniSize = flag.Int("universe", 130000, "stability universe size")
-		h2k     = flag.Int("h2ksites", 2000, "H2K list size (stability/cost)")
-		crawlN  = flag.Int("crawl", 5000, "exhaustive-crawl pages per site")
-		revisit = flag.Duration("revisit", 30*time.Minute, "cold→warm revisit delay (warm experiment)")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		plot    = flag.Bool("plot", false, "render each report's series as ASCII charts")
-		stream  = flag.Bool("stream", false, "run fig2 experiments through the constant-memory streaming engine")
-		window  = flag.Int("window", 0, "streaming reorder window in sites (0 = 4×workers; with -stream)")
+		seed       = flag.Int64("seed", 42, "root RNG seed")
+		sites      = flag.Int("sites", 1000, "H1K-style list size")
+		perSite    = flag.Int("persite", 20, "URLs per site (1 landing + N-1 internal)")
+		fetches    = flag.Int("fetches", 10, "fetches per landing page")
+		expList    = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		weeks      = flag.Int("weeks", 10, "stability experiment weeks")
+		uniSize    = flag.Int("universe", 130000, "stability universe size")
+		h2k        = flag.Int("h2ksites", 2000, "H2K list size (stability/cost)")
+		crawlN     = flag.Int("crawl", 5000, "exhaustive-crawl pages per site")
+		revisit    = flag.Duration("revisit", 30*time.Minute, "cold→warm revisit delay (warm experiment)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		plot       = flag.Bool("plot", false, "render each report's series as ASCII charts")
+		stream     = flag.Bool("stream", false, "run fig2 experiments through the constant-memory streaming engine")
+		window     = flag.Int("window", 0, "streaming reorder window in sites (0 = 4×workers; with -stream)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the streamed study to this file (implies -stream)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -44,6 +49,17 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	stopCPU, err := profiling.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "papereval: %v\n", err)
+		os.Exit(1)
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(trace.DetailPhases)
+		*stream = true // spans come from the streaming engine
 	}
 
 	ctx := experiments.NewContext(experiments.Config{
@@ -58,6 +74,7 @@ func main() {
 		RevisitDelay:      *revisit,
 		Stream:            *stream,
 		StreamWindow:      *window,
+		Trace:             tracer,
 	})
 
 	var selected []experiments.Experiment
@@ -100,7 +117,34 @@ func main() {
 		//detlint:allow walltime -- per-experiment run timestamp for the operator, not a measurement
 		fmt.Printf("-- %s completed in %v --\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+
+	if tracer != nil {
+		if err := writeTrace(tracer, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "papereval: trace: %v\n", err)
+			failed++
+		} else if tracer.Len() == 0 {
+			fmt.Fprintln(os.Stderr, "papereval: note: -trace wrote no spans (only streamed fig2 experiments record them)")
+		}
+	}
+	stopCPU()
+	if err := profiling.WriteHeap(*memProfile); err != nil {
+		fmt.Fprintf(os.Stderr, "papereval: %v\n", err)
+		failed++
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTrace dumps the tracer's spans as a Chrome trace-event file.
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

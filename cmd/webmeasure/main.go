@@ -30,9 +30,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnssim"
 	"repro/internal/hispar"
+	"repro/internal/profiling"
 	"repro/internal/search"
 	"repro/internal/simnet"
 	"repro/internal/toplist"
+	"repro/internal/trace"
 	"repro/internal/webgen"
 )
 
@@ -56,8 +58,25 @@ func main() {
 		stats         = flag.Bool("stats", false, "print run metrics to stderr")
 		stream        = flag.Bool("stream", false, "stream CSV rows as sites complete (constant memory) instead of building the full result")
 		window        = flag.Int("window", 0, "streaming reorder window in sites (0 = 4×workers; with -stream)")
+		traceOut      = flag.String("trace", "", "write a Chrome trace-event JSON of the study to this file (implies -stream; open in Perfetto)")
+		traceDetail   = flag.String("trace-detail", "phases", "trace granularity: sites, loads, fetches, or phases (with -trace)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile    = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuProfile)
+	fatal(err)
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		detail, err := trace.ParseDetail(*traceDetail)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webmeasure: %v\n", err)
+			os.Exit(2)
+		}
+		tracer = trace.New(detail)
+		*stream = true // spans are recorded by the streaming engine
+	}
 
 	u := toplist.NewUniverse(toplist.Config{Seed: *seed, Size: maxInt(4000, *sites*3)})
 	bootstrap := u.Top(*sites * 7 / 5)
@@ -74,6 +93,7 @@ func main() {
 
 	if *harDir != "" {
 		writeHARs(web, list, *seed, *harDir)
+		finishProfiles(stopCPU, *memProfile)
 		return
 	}
 
@@ -99,6 +119,7 @@ func main() {
 			}
 			fatal(core.WriteWarmCSV(os.Stdout, res))
 		}
+		finishProfiles(stopCPU, *memProfile)
 		fatal(runErr)
 		return
 	}
@@ -110,6 +131,7 @@ func main() {
 		sres, runErr := st.RunStream(list, core.StreamConfig{
 			Sinks:  []core.SiteSink{sink},
 			Window: *window,
+			Trace:  tracer,
 		})
 		if sres != nil && (*stats || sres.FailedSites() > 0) {
 			fmt.Fprintf(os.Stderr, "webmeasure: %d/%d sites measured, %d failed (streamed: peak %d in flight, %d shards)\n",
@@ -119,6 +141,15 @@ func main() {
 				printMemReport(os.Stderr)
 			}
 		}
+		if tracer != nil {
+			// Written even on a failed run: a partial trace is still a
+			// timeline of what did happen.
+			fatal(writeTrace(tracer, *traceOut))
+			if *stats {
+				tracer.Summary(os.Stderr)
+			}
+		}
+		finishProfiles(stopCPU, *memProfile)
 		fatal(runErr)
 		return
 	}
@@ -134,7 +165,28 @@ func main() {
 		// results are the point of the fault-tolerant runner.
 		fatal(core.WriteMeasurementsCSV(os.Stdout, res))
 	}
+	finishProfiles(stopCPU, *memProfile)
 	fatal(runErr)
+}
+
+// writeTrace dumps the tracer's spans as a Chrome trace-event file.
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// finishProfiles flushes the -cpuprofile/-memprofile outputs; explicit
+// rather than deferred because fatal exits skip defers.
+func finishProfiles(stopCPU func(), memPath string) {
+	stopCPU()
+	fatal(profiling.WriteHeap(memPath))
 }
 
 // printMemReport writes post-run memory numbers: live and cumulative

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/har"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/webgen"
 )
 
@@ -56,6 +57,10 @@ type Config struct {
 	// conditional requests. nil (the default) keeps the historical
 	// always-cold behavior, byte for byte.
 	Cache *Cache
+	// Trace, when non-nil, receives load/exchange/phase spans for every
+	// load (see internal/trace). Spans carry virtual time only; nil (the
+	// default) costs a single pointer check per load.
+	Trace *trace.Recorder
 }
 
 // Protocol toggles the §5.6 optimizations under study.
@@ -251,6 +256,7 @@ func (b *Browser) loadAttempt(m *webgen.PageModel, fetchID, attempt int, revisit
 	if !rootOK {
 		log.Entries = state.compactEntries()
 		phase := state.entries[0].Aborted
+		b.recordTrace(state, fetchID, attempt, 0, phase)
 		return log, &LoadError{URL: m.URL, Phase: phase, Attempt: attempt, Err: sentinelForPhase(phase)}
 	}
 	discovery := rootDone + b.cfg.ParseDelay
@@ -329,6 +335,7 @@ func (b *Browser) loadAttempt(m *webgen.PageModel, fetchID, attempt int, revisit
 
 	log.Entries = state.compactEntries()
 	log.Page.Timings = state.pageTimings(rootDone)
+	b.recordTrace(state, fetchID, attempt, log.Page.Timings.OnLoad, "")
 	return log, nil
 }
 

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/hispar"
 	"repro/internal/runstats"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -328,6 +330,11 @@ type StreamConfig struct {
 	// 100: the paper's Ht30 and Hb100 cuts). They count surviving sites
 	// from the head and tail of the rank order.
 	TopK, BottomK int
+	// Trace, when non-nil, receives the run's span stream (study, shard,
+	// site, and — at higher detail levels — load/exchange/phase spans).
+	// The fold merges per-site recorders in rank order, so the exported
+	// trace is byte-identical at any worker count.
+	Trace *trace.Tracer
 }
 
 func (c StreamConfig) withDefaults(workers int) StreamConfig {
@@ -385,6 +392,9 @@ type siteDone struct {
 	i   int
 	res SiteResult
 	out Outcome
+	// rec holds the site's spans (nil when tracing is off); the fold
+	// stamps the site span into it and merges it in rank order.
+	rec *trace.Recorder
 }
 
 // streamFold owns all single-goroutine fold state: sinks, the live
@@ -403,6 +413,14 @@ type streamFold struct {
 	bottomRing [][numMetrics]int8
 	bottomNext int
 
+	// rec collects the fold's own spans (shards, study) on tid 0; it is
+	// merged after every site recorder so merge order stays rank-derived.
+	// maxDoneV tracks the latest virtual completion among retired sites:
+	// the difference to the next site's own completion is the virtual
+	// reorder-window wait stamped on each site span.
+	rec      *trace.Recorder
+	maxDoneV time.Duration
+
 	sinkErr  error
 	siteErrs []error
 }
@@ -415,6 +433,7 @@ func (f *streamFold) retire(d *siteDone) {
 	}
 	f.res.Outcomes[d.i] = d.out
 	f.st.stats.Observe("site.attempts", float64(d.out.Attempts))
+	f.recordSiteSpan(d)
 	if f.sinkErr == nil {
 		for _, s := range f.cfg.Sinks {
 			if err := s.ConsumeSite(&d.res, &f.res.Outcomes[d.i]); err != nil {
@@ -441,6 +460,48 @@ func (f *streamFold) retire(d *siteDone) {
 	}
 }
 
+// recordSiteSpan stamps site i's root span into its recorder and merges
+// the recorder into the run tracer. The reorder-window wait attribute
+// is virtual and order-derived — how far this site's virtual completion
+// trails the latest one already retired — so it is identical at any
+// worker count, unlike a wall-clock wait.
+func (f *streamFold) recordSiteSpan(d *siteDone) {
+	if f.cfg.Trace == nil {
+		return
+	}
+	start := f.st.epoch.Add(time.Duration(d.i) * f.st.cfg.SitePacing)
+	doneV := time.Duration(d.i)*f.st.cfg.SitePacing + d.out.Elapsed
+	wait := f.maxDoneV - doneV
+	if wait < 0 {
+		wait = 0
+	}
+	if doneV > f.maxDoneV {
+		f.maxDoneV = doneV
+	}
+	attrs := []trace.Attr{
+		{Key: "rank", Val: strconv.Itoa(d.out.Rank)},
+		{Key: "domain", Val: d.out.Domain},
+		{Key: "attempts", Val: strconv.Itoa(d.out.Attempts)},
+		{Key: "retries", Val: strconv.Itoa(d.out.Retries)},
+		{Key: "window.wait_us", Val: strconv.FormatInt(wait.Microseconds(), 10)},
+	}
+	if d.out.OK {
+		attrs = append(attrs, trace.Attr{Key: "ok", Val: "true"})
+		if d.out.FailedPages > 0 {
+			attrs = append(attrs, trace.Attr{Key: "failed_pages", Val: strconv.Itoa(d.out.FailedPages)})
+		}
+	} else {
+		attrs = append(attrs, trace.Attr{Key: "ok", Val: "false"},
+			trace.Attr{Key: "class", Val: string(d.out.Class)})
+	}
+	d.rec.Record(trace.Span{
+		ID:   trace.SiteSpanID(d.out.Rank),
+		Name: "site " + d.out.Domain, Cat: "site",
+		Start: start, Dur: d.out.Elapsed, Attrs: attrs,
+	})
+	f.cfg.Trace.Merge(d.rec)
+}
+
 // closeShard summarizes the live shard over [shardLo, hi), merges it
 // into the study-wide aggregate, and starts a fresh one.
 func (f *streamFold) closeShard(hi int) {
@@ -458,6 +519,21 @@ func (f *streamFold) closeShard(hi int) {
 	if err := f.res.Agg.Merge(f.shard); err != nil && f.sinkErr == nil {
 		f.sinkErr = err
 	}
+	if f.rec != nil {
+		sum := &f.res.Shards[len(f.res.Shards)-1]
+		f.rec.Record(trace.Span{
+			ID:   trace.DeriveID("shard", strconv.Itoa(f.shardLo)),
+			Name: fmt.Sprintf("shard [%d,%d)", f.shardLo, hi), Cat: "shard",
+			Start: f.st.epoch.Add(time.Duration(f.shardLo) * f.st.cfg.SitePacing),
+			Dur:   time.Duration(hi-f.shardLo) * f.st.cfg.SitePacing,
+			Attrs: []trace.Attr{
+				{Key: "sites", Val: strconv.Itoa(sum.Sites)},
+				{Key: "failed", Val: strconv.Itoa(sum.Failed)},
+				{Key: "median_landing_plt_s", Val: strconv.FormatFloat(sum.MedianLandingPLT, 'g', 6, 64)},
+				{Key: "median_delta_bytes", Val: strconv.FormatFloat(sum.MedianDeltaBytes, 'g', 6, 64)},
+			},
+		})
+	}
 	f.shard = NewAggregates()
 	f.shardLo, f.shardFailed = hi, 0
 }
@@ -473,6 +549,23 @@ func (f *streamFold) finish(n int) {
 	}
 	for i := 0; i < len(f.bottomRing); i++ {
 		f.res.Bottom.accumulate(f.bottomRing[(f.bottomNext+i)%len(f.bottomRing)])
+	}
+	if f.rec != nil {
+		f.rec.Record(trace.Span{
+			ID:   trace.DeriveID("study"),
+			Name: "study", Cat: "study",
+			Start: f.st.epoch,
+			Dur:   time.Duration(n) * f.st.cfg.SitePacing,
+			Attrs: []trace.Attr{
+				{Key: "sites", Val: strconv.Itoa(n)},
+				{Key: "failed", Val: strconv.Itoa(len(f.siteErrs))},
+				{Key: "shards", Val: strconv.Itoa(len(f.res.Shards))},
+				{Key: "shard_size", Val: strconv.Itoa(f.cfg.ShardSize)},
+			},
+		})
+		// Fold spans merge last: every site recorder has already merged
+		// by the time finish runs, so the stream stays rank-ordered.
+		f.cfg.Trace.Merge(f.rec)
 	}
 }
 
@@ -496,7 +589,8 @@ func (st *Study) RunStream(list *hispar.List, cfg StreamConfig) (*StreamResult, 
 		Outcomes: make([]Outcome, n),
 		Agg:      NewAggregates(),
 	}
-	fold := &streamFold{st: st, cfg: cfg, res: res, shard: NewAggregates()}
+	fold := &streamFold{st: st, cfg: cfg, res: res, shard: NewAggregates(),
+		rec: cfg.Trace.Recorder(0, 0)}
 
 	jobs := make(chan int)
 	completed := make(chan siteDone, cfg.Window)
@@ -518,10 +612,14 @@ func (st *Study) RunStream(list *hispar.List, cfg StreamConfig) (*StreamResult, 
 			sites := 0
 			for i := range jobs {
 				t0 := vclock.Wall()
-				r, out := st.measureSiteResilient(i, list.Sets[i])
+				// Chrome trace rows are per-site (tid = site index + 1; the
+				// fold's study/shard spans own tid 0), never per-worker:
+				// worker identity must not leak into the byte-stable trace.
+				rec := cfg.Trace.Recorder(int64(i)+1, list.Sets[i].Rank)
+				r, out := st.measureSiteResilient(i, list.Sets[i], rec)
 				busy += vclock.WallSince(t0)
 				sites++
-				completed <- siteDone{i: i, res: r, out: out}
+				completed <- siteDone{i: i, res: r, out: out, rec: rec}
 			}
 			if wall := vclock.WallSince(wallStart); wall > 0 {
 				st.stats.SetGauge(fmt.Sprintf("worker.%d.utilization", w), busy.Seconds()/wall.Seconds())

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/runstats"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 	"repro/internal/webgen"
 )
@@ -275,6 +277,9 @@ func (st *Study) newBrowserWith(seed int64, resolver *dnssim.Resolver) (*browser
 type siteCtx struct {
 	clock *vclock.Clock
 	b     *browser.Browser
+	// rec, when non-nil, collects this site's spans (see internal/trace);
+	// the streaming fold merges it in rank order after the site retires.
+	rec *trace.Recorder
 }
 
 // newSiteCtx builds the context for site i.
@@ -310,7 +315,10 @@ func (st *Study) loadWithRetry(sc *siteCtx, m *webgen.PageModel, fetchID int) (*
 func (st *Study) loadRevisitWithRetry(sc *siteCtx, m *webgen.PageModel, fetchID int, revisit time.Duration) (*har.Log, int, error) {
 	backoff := st.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		log, err := sc.b.LoadRevisit(m, fetchID, attempt, revisit)
+		// Anchor the attempt's spans at the site clock's virtual now, so
+		// loads and their retries tile the site's timeline in order.
+		sc.rec.SetBase(sc.clock.Now())
+		log, err := sc.b.LoadRevisit(m, fetchID, attempt, revisit) //detlint:allow taint -- the chain bottoms out in dnssim's vclock.Wall telemetry read; every span field is stamped from sc.clock virtual time, and TestStreamTraceInvariantAcrossWorkers pins the byte-identity
 		if err == nil {
 			sc.clock.Advance(log.Page.Timings.OnLoad)
 			st.stats.Inc("loads.ok", 1)
@@ -321,6 +329,19 @@ func (st *Study) loadRevisitWithRetry(sc *siteCtx, m *webgen.PageModel, fetchID 
 		st.stats.Inc("loads.err."+string(class), 1)
 		if !class.Retryable() || attempt+1 >= st.cfg.MaxAttempts {
 			return nil, attempt + 1, err
+		}
+		if rec := sc.rec; rec != nil && rec.Detail() >= trace.DetailLoads {
+			rec.Record(trace.Span{
+				ID: trace.DeriveID("backoff", strconv.Itoa(rec.Site()), m.URL,
+					strconv.Itoa(fetchID), strconv.Itoa(attempt)),
+				Parent: rec.Parent(),
+				Name:   "backoff " + m.URL, Cat: "retry",
+				Start: sc.clock.Now(), Dur: backoff,
+				Attrs: []trace.Attr{
+					{Key: "attempt", Val: strconv.Itoa(attempt)},
+					{Key: "class", Val: string(class)},
+				},
+			})
 		}
 		sc.clock.Advance(backoff)
 		st.stats.Inc("retries.total", 1)
@@ -336,7 +357,7 @@ func (st *Study) loadRevisitWithRetry(sc *siteCtx, m *webgen.PageModel, fetchID 
 // graceful degradation: the landing page must survive (its loss fails
 // the site), while internal pages that exhaust their retries are dropped
 // from the result and counted in the outcome.
-func (st *Study) measureSiteResilient(i int, set hispar.URLSet) (res SiteResult, out Outcome) {
+func (st *Study) measureSiteResilient(i int, set hispar.URLSet, rec *trace.Recorder) (res SiteResult, out Outcome) {
 	out = Outcome{Domain: set.Domain, Rank: set.Rank}
 	fail := func(err error, class ErrorClass) (SiteResult, Outcome) {
 		out.Class = class
@@ -347,6 +368,11 @@ func (st *Study) measureSiteResilient(i int, set hispar.URLSet) (res SiteResult,
 	if err != nil {
 		return fail(err, ClassConfig)
 	}
+	// Span plumbing: the browser parents its load spans under the site
+	// span the fold will record when this site retires.
+	sc.rec = rec
+	rec.SetParent(trace.SiteSpanID(set.Rank))
+	sc.b.SetTrace(rec)
 	start := sc.clock.Now()
 	// Named returns so the deferred stamp reaches every exit path,
 	// including the failure ones.

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// streamTrace runs the streamed study over the fault web with tracing
+// on and returns the tracer plus its Chrome export.
+func streamTrace(t *testing.T, workers int, detail trace.Detail, faults float64) (*trace.Tracer, []byte, *StreamResult) {
+	t.Helper()
+	web, list := faultWeb(t)
+	tr := trace.New(detail)
+	res, err := streamStudy(t, web, list, func(cfg *StudyConfig) {
+		cfg.Workers = workers
+		cfg.Faults = simnet.FaultConfig{Rates: simnet.FaultRates{Timeout: faults}}
+		cfg.FailureBudget = -1
+	}, StreamConfig{Trace: tr})
+	if err != nil {
+		t.Fatalf("streaming study: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tr, buf.Bytes(), res
+}
+
+// TestStreamTraceInvariantAcrossWorkers is the tracer's core contract:
+// the exported Chrome JSON must be byte-identical at any worker count,
+// including under injected faults (retries, aborted loads, dropped
+// pages) at full phase detail.
+func TestStreamTraceInvariantAcrossWorkers(t *testing.T) {
+	_, serial, _ := streamTrace(t, 1, trace.DetailPhases, 0.05)
+	_, parallel, _ := streamTrace(t, 8, trace.DetailPhases, 0.05)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("trace differs across worker counts (%d vs %d bytes)", len(serial), len(parallel))
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestStreamTraceStructure checks the span hierarchy: one study span,
+// one span per shard and per site, browser loads parented under their
+// site span, and the deterministic reorder-window wait attribute.
+func TestStreamTraceStructure(t *testing.T) {
+	tr, _, res := streamTrace(t, 4, trace.DetailPhases, 0.05)
+	spans := tr.Spans()
+
+	byCat := map[string][]trace.Span{}
+	for _, s := range spans {
+		byCat[s.Cat] = append(byCat[s.Cat], s)
+	}
+	if n := len(byCat["study"]); n != 1 {
+		t.Errorf("study spans = %d, want 1", n)
+	}
+	if n := len(byCat["shard"]); n != len(res.Shards) {
+		t.Errorf("shard spans = %d, want %d", n, len(res.Shards))
+	}
+	if n := len(byCat["site"]); n != len(res.Outcomes) {
+		t.Errorf("site spans = %d, want %d (failed sites must have spans too)", n, len(res.Outcomes))
+	}
+	if len(byCat["load"]) == 0 || len(byCat["fetch"]) == 0 || len(byCat["phase"]) == 0 {
+		t.Fatalf("missing load/fetch/phase spans: %v", catCounts(byCat))
+	}
+
+	siteIDs := map[trace.SpanID]bool{}
+	for _, s := range byCat["site"] {
+		siteIDs[s.ID] = true
+		found := false
+		for _, a := range s.Attrs {
+			if a.Key == "window.wait_us" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("site span %q missing window.wait_us attr: %+v", s.Name, s.Attrs)
+		}
+	}
+	for _, s := range byCat["load"] {
+		if !siteIDs[s.Parent] {
+			t.Fatalf("load span %q not parented under a site span", s.Name)
+		}
+	}
+	// Site spans use per-site Chrome rows; fold spans own row 0.
+	for _, s := range append(byCat["study"], byCat["shard"]...) {
+		if s.TID != 0 {
+			t.Errorf("fold span %q on tid %d, want 0", s.Name, s.TID)
+		}
+	}
+}
+
+// TestStreamTraceDetailGating: sites-level tracing must not record
+// load or exchange spans, and tracing off must record nothing.
+func TestStreamTraceDetailGating(t *testing.T) {
+	tr, _, _ := streamTrace(t, 2, trace.DetailSites, 0)
+	for _, s := range tr.Spans() {
+		if s.Cat == "load" || s.Cat == "fetch" || s.Cat == "phase" {
+			t.Fatalf("detail=sites recorded %s span %q", s.Cat, s.Name)
+		}
+	}
+
+	web, list := faultWeb(t)
+	res, err := streamStudy(t, web, list, nil, StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.Sites == 0 {
+		t.Fatal("untraced run measured nothing")
+	}
+}
+
+func catCounts(byCat map[string][]trace.Span) map[string]int {
+	out := make(map[string]int, len(byCat))
+	for k, v := range byCat {
+		out[k] = len(v)
+	}
+	return out
+}

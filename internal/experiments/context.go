@@ -9,6 +9,7 @@ import (
 	"repro/internal/hispar"
 	"repro/internal/search"
 	"repro/internal/toplist"
+	"repro/internal/trace"
 	"repro/internal/webgen"
 )
 
@@ -48,6 +49,9 @@ type Config struct {
 	// Stream is set (0 = core defaults).
 	StreamWindow    int
 	StreamShardSize int
+	// Trace collects deterministic spans from the streaming study when
+	// Stream is set (nil = tracing off).
+	Trace *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -275,6 +279,7 @@ func (c *Context) StreamStudy() (*core.StreamResult, error) {
 	c.stream, c.streamErr = st.RunStream(list, core.StreamConfig{ //detlint:allow lockheld -- single-flight by design: concurrent callers must wait for the one streaming run
 		Window:    c.Cfg.StreamWindow,
 		ShardSize: c.Cfg.StreamShardSize,
+		Trace:     c.Cfg.Trace,
 	})
 	return c.stream, c.streamErr
 }

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStreamStudyRecordsTrace: a Config.Trace tracer must come back
+// from the streamed H1K study populated with the full span hierarchy
+// and export valid, non-empty Chrome JSON — the papereval -trace path.
+func TestStreamStudyRecordsTrace(t *testing.T) {
+	tr := trace.New(trace.DetailLoads)
+	ctx := NewContext(Config{
+		Seed: 11, Sites: 40, PerSite: 8, LandingFetches: 2,
+		Stream: true, Trace: tr,
+	})
+	sres, err := ctx.StreamStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCat := map[string]int{}
+	for _, s := range tr.Spans() {
+		byCat[s.Cat]++
+	}
+	if byCat["study"] != 1 || byCat["site"] != len(sres.Outcomes) || byCat["load"] == 0 {
+		t.Fatalf("span counts off (outcomes=%d): %v", len(sres.Outcomes), byCat)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace export")
+	}
+
+	// Single-flight: a second StreamStudy returns the cached result and
+	// must not double-record spans.
+	n := tr.Len()
+	if _, err := ctx.StreamStudy(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("cached StreamStudy re-recorded spans: %d -> %d", n, tr.Len())
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/runstats"
 	"repro/internal/search"
 	"repro/internal/toplist"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 	"repro/internal/webgen"
 )
@@ -75,6 +77,12 @@ type Config struct {
 	// Now supplies the rate limiter's clock (default vclock.Wall).
 	// Response bodies and validators never depend on it.
 	Now func() time.Time
+	// TraceSpans sizes the in-memory ring of recent request spans served
+	// at /debug/tracez (default 256).
+	TraceSpans int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose process internals.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = vclock.Wall // sanctioned telemetry clock; never reaches a response body
 	}
+	if c.TraceSpans <= 0 {
+		c.TraceSpans = 256
+	}
 	return c
 }
 
@@ -141,6 +152,8 @@ type Server struct {
 	stats   *runstats.Set
 	handler http.Handler
 	limiter *tokenBucket
+	spans   *trace.Ring
+	reqSeq  uint64 // atomic; orders spans in the ring
 
 	snapshots *flight[*snapshot]
 	studies   *flight[*core.StudyResult]
@@ -159,6 +172,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		stats:   runstats.NewSet(),
 		limiter: newTokenBucket(cfg.RatePerSec, cfg.Burst, cfg.Now),
+		spans:   trace.NewRing(cfg.TraceSpans),
 	}
 	track := func(fn func()) {
 		s.builds.Add(1)
@@ -174,6 +188,14 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metricz", s.handleMetrics)
+	mux.HandleFunc("GET /debug/tracez", s.handleTrace)
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /v1/lists", s.handleIndex)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/list/{week}", s.handleList)
@@ -403,10 +425,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write([]byte("ok\n"))
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+// handleMetrics serves the live metrics registry. The default body is
+// Prometheus text exposition format v0.0.4 (scrapeable); ?format=text
+// keeps the human-oriented runstats rendering.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
-	s.stats.Render(w)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.stats.Render(w)
+		return
+	}
+	w.Header().Set("Content-Type", runstats.ContentTypePrometheus)
+	_ = s.stats.Snapshot().WritePrometheus(w)
+}
+
+// handleTrace dumps the ring of recent request spans as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing).
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	_ = trace.WriteChromeJSON(w, s.spans.Snapshot())
 }
 
 // indexDoc is the /v1/lists body: what is served and how to ask for it.

@@ -10,10 +10,14 @@ import (
 	"compress/gzip"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -292,11 +296,46 @@ func TestHTTPContract(t *testing.T) {
 			},
 		},
 		{
-			name: "metrics render runstats", method: "GET", path: "/metricz",
+			name: "metrics serve prometheus exposition", method: "GET", path: "/metricz",
+			wantStatus: 200,
+			check: func(t *testing.T, resp *http.Response, body []byte) {
+				if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+					t.Errorf("Content-Type = %q, want Prometheus text exposition", ct)
+				}
+				if !strings.Contains(string(body), "http_requests_total{code=\"200\"}") {
+					t.Errorf("metricz missing labeled request counter: %.300s", body)
+				}
+			},
+		},
+		{
+			name: "metrics keep human rendering", method: "GET", path: "/metricz?format=text",
 			wantStatus: 200,
 			check: func(t *testing.T, resp *http.Response, body []byte) {
 				if !strings.Contains(string(body), "http.requests") {
-					t.Errorf("metricz missing request counter: %.200s", body)
+					t.Errorf("text metricz missing request counter: %.200s", body)
+				}
+			},
+		},
+		{
+			name: "tracez serves chrome trace events", method: "GET", path: "/debug/tracez",
+			wantStatus: 200,
+			check: func(t *testing.T, resp *http.Response, body []byte) {
+				var doc struct {
+					TraceEvents []struct {
+						Ph   string `json:"ph"`
+						Name string `json:"name"`
+					} `json:"traceEvents"`
+				}
+				if err := json.Unmarshal(body, &doc); err != nil {
+					t.Fatalf("tracez is not valid JSON: %v", err)
+				}
+				if len(doc.TraceEvents) == 0 {
+					t.Fatal("tracez ring empty after prior requests")
+				}
+				for _, ev := range doc.TraceEvents {
+					if ev.Ph != "X" {
+						t.Errorf("event %q has phase %q, want X", ev.Name, ev.Ph)
+					}
 				}
 			},
 		},
@@ -519,5 +558,185 @@ func TestLoadGenerator(t *testing.T) {
 	rep.Render(&sb)
 	if !strings.Contains(sb.String(), "conditional hit ratio") {
 		t.Errorf("render output: %s", sb.String())
+	}
+}
+
+// ---- strict Prometheus exposition checks ----
+
+// promSampleRE is the v0.0.4 sample-line grammar: a metric name, an
+// optional sorted label set with escaped quoted values, and a value.
+var promSampleRE = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\\n])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\\n])*")*\})? (\S+)$`)
+
+type promSample struct {
+	key   string // name + label block
+	fam   string // family the sample belongs to (from its TYPE line)
+	typ   string
+	value float64
+}
+
+// parsePromPage validates a /metricz body line by line against the
+// Prometheus text exposition format and returns every sample in order
+// of appearance. Violations fail the test.
+func parsePromPage(t *testing.T, body string) []promSample {
+	t.Helper()
+	var (
+		samples  []promSample
+		fam, typ string
+		families []string
+		seen     = map[string]bool{}
+	)
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			if name, _, ok := strings.Cut(rest, " "); !ok || name == "" {
+				t.Fatalf("line %d: malformed HELP: %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			fam, typ = fields[0], fields[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", i+1, typ)
+			}
+			families = append(families, fam)
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment: %q", i+1, line)
+		case line == "":
+			t.Fatalf("line %d: blank line in exposition", i+1)
+		default:
+			m := promSampleRE.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: sample does not match grammar: %q", i+1, line)
+			}
+			name, labels, raw := m[1], m[2], m[3]
+			if fam == "" {
+				t.Fatalf("line %d: sample %q before any TYPE line", i+1, name)
+			}
+			base := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if typ == "histogram" && strings.HasSuffix(name, suf) {
+					base = strings.TrimSuffix(name, suf)
+				}
+			}
+			if base != fam {
+				t.Fatalf("line %d: sample %q outside its family %q", i+1, name, fam)
+			}
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", i+1, raw, err)
+			}
+			key := name + labels
+			if seen[key] {
+				t.Fatalf("line %d: duplicate sample %q", i+1, key)
+			}
+			seen[key] = true
+			samples = append(samples, promSample{key: key, fam: fam, typ: typ, value: v})
+		}
+	}
+	if !sort.StringsAreSorted(families) {
+		t.Fatalf("families not sorted: %v", families)
+	}
+	if len(samples) == 0 {
+		t.Fatal("empty exposition")
+	}
+	return samples
+}
+
+// scrapeSequence drives a fixed request sequence (including one
+// deterministic rate-limit rejection) and returns the parsed /metricz
+// scrape that follows it.
+func scrapeSequence(t *testing.T) []promSample {
+	t.Helper()
+	clock := time.Date(2020, 3, 12, 0, 0, 0, 0, time.UTC)
+	cfg := testConfig()
+	cfg.RatePerSec = 1
+	cfg.Burst = 1
+	cfg.Now = func() time.Time { return clock }
+	_, ts := startTestServer(t, cfg)
+
+	for _, p := range []string{"/healthz", "/v1/lists", "/v1/lists", "/v1/list/0?wait=1&x=", "/nope"} {
+		url := ts.URL + p
+		if p == "/v1/list/0?wait=1&x=" {
+			clock = clock.Add(time.Second) // refill one token for the blocking build
+		}
+		resp, _ := do(t, "GET", url, nil)
+		_ = resp
+	}
+	resp, body := do(t, "GET", ts.URL+"/metricz", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("metricz: status %d", resp.StatusCode)
+	}
+	return parsePromPage(t, string(body))
+}
+
+// TestMetricsPrometheusGrammar scrapes a live server after a fixed
+// request mix and requires a grammar-clean page carrying the request,
+// rate-limit, cache, and latency series.
+func TestMetricsPrometheusGrammar(t *testing.T) {
+	samples := scrapeSequence(t)
+	byKey := map[string]promSample{}
+	for _, s := range samples {
+		byKey[s.key] = s
+	}
+	for key, want := range map[string]float64{
+		`http_requests_total{code="200"}`:           3, // healthz + first /v1/lists + list/0
+		`http_requests_total{code="404"}`:           1,
+		`http_requests_total{code="429"}`:           1,
+		`http_ratelimited_total{route="/v1/lists"}`: 1,
+	} {
+		s, ok := byKey[key]
+		if !ok {
+			t.Errorf("scrape missing %s", key)
+			continue
+		}
+		if s.typ != "counter" {
+			t.Errorf("%s typed %q, want counter", key, s.typ)
+		}
+		if s.value != want {
+			t.Errorf("%s = %v, want %v", key, s.value, want)
+		}
+	}
+	lat, ok := byKey[`http_latency_ms_count{route="/v1/lists"}`]
+	if !ok || lat.typ != "histogram" || lat.value != 2 {
+		t.Errorf("latency histogram for /v1/lists = %+v (ok=%v), want count 2", lat, ok)
+	}
+}
+
+// TestMetricsDeterministicAcrossGOMAXPROCS runs the same request
+// sequence on two fresh servers — the second pinned to one P — and
+// requires identical ordered counter/gauge series with identical
+// values. Histogram samples are excluded: latency observations carry
+// real serving time, and runstats buckets are observation-derived, so
+// their le= boundaries legitimately differ between runs.
+func TestMetricsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	stable := func(in []promSample) []promSample {
+		var out []promSample
+		for _, s := range in {
+			if s.typ != "histogram" {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	got := stable(scrapeSequence(t))
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	want := stable(scrapeSequence(t))
+
+	if len(got) != len(want) {
+		t.Fatalf("sample counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].key != want[i].key {
+			t.Fatalf("sample %d key diverged: %q vs %q", i, got[i].key, want[i].key)
+		}
+		if got[i].typ == "counter" && got[i].value != want[i].value {
+			t.Errorf("%s: counter diverged: %v vs %v", got[i].key, got[i].value, want[i].value)
+		}
 	}
 }

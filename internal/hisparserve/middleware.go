@@ -12,8 +12,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/runstats"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -94,23 +97,59 @@ func (s *Server) withMiddleware(next http.Handler) http.Handler {
 			if ok, wait := s.limiter.allow(); !ok {
 				sw.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
 				http.Error(sw, "rate limited", http.StatusTooManyRequests)
-				s.logRequest(sw, start)
+				s.stats.IncL("http.ratelimited", 1, runstats.Label{Key: "route", Value: routeLabel(r.URL.Path)})
+				s.logRequest(r, sw, start)
 				return
 			}
 		}
 		next.ServeHTTP(sw, r)
-		s.logRequest(sw, start)
+		s.logRequest(r, sw, start)
 	})
 }
 
-func (s *Server) logRequest(sw *statusWriter, start time.Time) {
+// logRequest records the finished request into the labeled metrics
+// registry and, when a trace ring is installed, as a serving-side span.
+// Serving spans carry wall-clock timestamps (vclock.Wall) — they are a
+// live diagnostic view of this server, not a deterministic artifact.
+func (s *Server) logRequest(r *http.Request, sw *statusWriter, start time.Time) {
 	if sw.status == 0 {
 		sw.status = http.StatusOK
 	}
-	s.stats.Inc("http.requests", 1)
-	s.stats.Inc("http.status."+strconv.Itoa(sw.status), 1)
+	code := strconv.Itoa(sw.status)
+	route := routeLabel(r.URL.Path)
+	elapsed := vclock.WallSince(start)
+	s.stats.IncL("http.requests", 1, runstats.Label{Key: "code", Value: code})
 	s.stats.Inc("http.bytes_out", sw.bytes)
-	s.stats.Observe("http.latency_ms", float64(vclock.WallSince(start).Microseconds())/1000)
+	s.stats.ObserveL("http.latency_ms", float64(elapsed.Microseconds())/1000,
+		runstats.Label{Key: "route", Value: route})
+	if s.spans != nil {
+		seq := atomic.AddUint64(&s.reqSeq, 1)
+		s.spans.Record(trace.Span{
+			ID:    trace.DeriveID("req", strconv.FormatUint(seq, 10)),
+			Name:  r.Method + " " + r.URL.Path,
+			Cat:   "http",
+			Start: start,
+			Dur:   elapsed,
+			Attrs: []trace.Attr{
+				{Key: "code", Val: code},
+				{Key: "route", Val: route},
+				{Key: "bytes", Val: strconv.FormatInt(sw.bytes, 10)},
+			},
+		})
+	}
+}
+
+// routeLabel collapses a request path to its route family so labeled
+// series stay low-cardinality (paths embed weeks and domains).
+func routeLabel(path string) string {
+	if !strings.HasPrefix(path, "/v1/") {
+		return path // fixed set: /healthz, /metricz, /debug/...
+	}
+	rest := path[len("/v1/"):]
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return "/v1/" + rest
 }
 
 // acceptsGzip reports whether the client advertises gzip support.

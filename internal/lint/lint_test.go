@@ -33,6 +33,7 @@ var goldenCases = []struct {
 	{"errdrop", []*Check{ErrdropCheck}, "repro/internal/errdroptest"},
 	{"mutexcopy", []*Check{MutexcopyCheck}, "repro/internal/mutexcopytest"},
 	{"taint", []*Check{TaintCheck}, "repro/internal/taint"},
+	{"tracesink", []*Check{TaintCheck}, "repro/internal/trace"},
 	{"gorleak", []*Check{GorleakCheck}, "repro/internal/gorleak"},
 	{"lockheld", []*Check{LockheldCheck}, "repro/internal/lockheld"},
 	{"staleallow", []*Check{WalltimeCheck, StaleallowCheck}, "repro/internal/staleallowtest"},

@@ -132,6 +132,13 @@ func directSinks(n *FuncNode) []taintSite {
 			sites = append(sites, taintSite{Kind: "csv", Desc: "csv.Writer." + name, Pos: call.Pos()})
 		case namedIn(recv, "encoding/json", "Encoder") && name == "Encode":
 			sites = append(sites, taintSite{Kind: "json", Desc: "json.Encoder.Encode", Pos: call.Pos()})
+		// Trace spans are artifacts too: span output is contractually
+		// byte-identical across runs, so a wall-clock read reaching a
+		// span recorder is the same bug as one reaching a CSV writer.
+		// (Ring is exempt: it backs the live /debug/tracez view, which
+		// records real serving time by design.)
+		case namedIn(recv, "repro/internal/trace", "Recorder") && name == "Record":
+			sites = append(sites, taintSite{Kind: "trace", Desc: "trace.Recorder.Record", Pos: call.Pos()})
 		}
 		return true
 	})

@@ -1,0 +1,45 @@
+// Package trace is the trace-sink fixture: a miniature of
+// repro/internal/trace (same package path, same Recorder.Record shape)
+// proving the taint layer treats span recording as artifact emission.
+// Trace output is contractually byte-identical across runs, so a wall
+// clock read reaching Record is the same bug as one reaching a CSV
+// writer.
+package trace
+
+import "time"
+
+// Span and Recorder mirror the real types; only the shapes the taint
+// matcher keys on (the package path, the Recorder name, the Record
+// method) matter.
+type Span struct {
+	Name  string
+	Start time.Time
+}
+
+type Recorder struct{ spans []Span }
+
+func (r *Recorder) Record(s Span) { r.spans = append(r.spans, s) }
+
+// emit records a span while its call path reads the wall clock through
+// a helper — a timestamp that would differ on every run.
+func emit(r *Recorder) {
+	r.Record(Span{Name: "load"})
+	_ = stamp() // want `trace.emit emits an artifact via trace.Recorder.Record but its call path reads time.Now \(walltime at tracesink.go:\d+\): trace.emit → trace.stamp`
+}
+
+func stamp() time.Time { return time.Now() }
+
+// mark reads the clock itself and hands the value down into a recording
+// helper: the tainted timestamp rides along as an argument.
+func mark(r *Recorder) {
+	t := time.Now() // want `trace.mark reads time.Now \(walltime\) and reaches artifact writer trace.record \(trace.Recorder.Record at tracesink.go:\d+\): trace.mark → trace.record`
+	record(r, t)
+}
+
+func record(r *Recorder, t time.Time) { r.Record(Span{Name: "x", Start: t}) }
+
+// emitVirtual is the sanctioned shape: spans stamped from injected
+// virtual time, no clock on any call path — no finding.
+func emitVirtual(r *Recorder, base time.Time) {
+	r.Record(Span{Name: "site", Start: base})
+}

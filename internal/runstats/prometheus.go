@@ -1,0 +1,211 @@
+// Prometheus text exposition (format version 0.0.4) for a Snapshot.
+// The output is fully deterministic — families sorted by name, series
+// sorted by canonical key, histogram buckets in ascending le order,
+// shortest-round-trip float formatting — so two snapshots of the same
+// state render byte-identical pages on any GOMAXPROCS.
+package runstats
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promSeries is one emitted series block: a single sample line for
+// counters and gauges, the bucket/_sum/_count block for histograms.
+type promSeries struct {
+	key   string // canonical series key, the intra-family sort order
+	lines []string
+}
+
+// promFamily groups the series of one exposition metric family.
+type promFamily struct {
+	typ    string // counter | gauge | histogram
+	orig   []string
+	series []promSeries
+}
+
+// ContentTypePrometheus is the Content-Type of the exposition format.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format. Dotted runstats names are sanitized to underscore
+// form (`loads.err.timeout` → `loads_err_timeout`), counters gain the
+// `_total` suffix, and histograms expand into cumulative `_bucket`
+// series plus `_sum`/`_count`.
+func (snap Snapshot) WritePrometheus(w io.Writer) error {
+	fams := make(map[string]*promFamily)
+	add := func(name, typ string, s promSeries) {
+		fam := sanitizeMetricName(name)
+		if typ == "counter" && !strings.HasSuffix(fam, "_total") {
+			fam += "_total"
+		}
+		f := fams[fam]
+		for f != nil && f.typ != typ {
+			// Two runstats names sanitized into one family with clashing
+			// types; keep both visible under a disambiguated name.
+			fam += "_" + typ
+			f = fams[fam]
+		}
+		if f == nil {
+			f = &promFamily{typ: typ}
+			fams[fam] = f
+		}
+		f.orig = append(f.orig, name)
+		// The series lines carry the family name; patch the placeholder.
+		for i, l := range s.lines {
+			s.lines[i] = strings.Replace(l, "\x00", fam, 1)
+		}
+		f.series = append(f.series, s)
+	}
+
+	for key, v := range snap.Counters {
+		id := snap.id(key)
+		add(id.name, "counter", promSeries{
+			key:   key,
+			lines: []string{"\x00" + promLabels(id.labels, "", 0) + " " + strconv.FormatInt(v, 10)},
+		})
+	}
+	for key, v := range snap.Gauges {
+		id := snap.id(key)
+		add(id.name, "gauge", promSeries{
+			key:   key,
+			lines: []string{"\x00" + promLabels(id.labels, "", 0) + " " + formatFloat(v)},
+		})
+	}
+	for key, h := range snap.Histograms {
+		id := snap.id(key)
+		lines := make([]string, 0, len(h.Buckets)+3)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			lines = append(lines, "\x00_bucket"+promLabels(id.labels, formatFloat(b.Upper), 1)+" "+
+				strconv.FormatInt(cum, 10))
+		}
+		lines = append(lines,
+			"\x00_bucket"+promLabels(id.labels, "+Inf", 1)+" "+strconv.FormatInt(h.Count, 10),
+			"\x00_sum"+promLabels(id.labels, "", 0)+" "+formatFloat(h.Sum),
+			"\x00_count"+promLabels(id.labels, "", 0)+" "+strconv.FormatInt(h.Count, 10))
+		add(id.name, "histogram", promSeries{key: key, lines: lines})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		sort.Strings(f.orig)
+		f.orig = dedupSorted(f.orig)
+		b.WriteString("# HELP " + n + " runstats series " + strings.Join(f.orig, ", ") + "\n")
+		b.WriteString("# TYPE " + n + " " + f.typ + "\n")
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+		for _, s := range f.series {
+			for _, l := range s.lines {
+				b.WriteString(l)
+				b.WriteByte('\n')
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// id resolves a snapshot map key back to (name, labels): labeled series
+// have a meta entry, unlabeled keys are their own name.
+func (snap Snapshot) id(key string) seriesID {
+	if id, ok := snap.meta[key]; ok {
+		return id
+	}
+	return seriesID{name: key}
+}
+
+// promLabels renders a label block. leMode 1 appends the histogram
+// le label (value le); 0 renders just the series labels, or nothing.
+func promLabels(labels []Label, le string, leMode int) string {
+	if len(labels) == 0 && leMode == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(l.Key))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if leMode == 1 {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders the shortest representation that round-trips,
+// the conventional exposition float format.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sanitizeMetricName maps a runstats name onto the exposition grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* — dots and any other byte become '_'.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName maps a label key onto [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice.
+func dedupSorted(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -21,6 +22,20 @@ import (
 // buckets — coarse, but plenty for run diagnostics.
 const bucketsPerDecade = 4
 
+// Label is one dimension on a labeled series (the L suffix methods).
+// Keys follow Prometheus label-name rules after sanitization; values
+// are free-form strings.
+type Label struct {
+	Key, Value string
+}
+
+// seriesID is the structured identity behind a canonical series key:
+// the metric name plus its labels sorted by key.
+type seriesID struct {
+	name   string
+	labels []Label
+}
+
 // Set is a collection of named metrics. The zero value is NOT usable;
 // call NewSet.
 type Set struct {
@@ -28,6 +43,7 @@ type Set struct {
 	counters map[string]int64
 	gauges   map[string]float64
 	hists    map[string]*histogram
+	meta     map[string]seriesID // canonical key → identity, labeled series only
 }
 
 // NewSet returns an empty metric set.
@@ -36,13 +52,62 @@ func NewSet() *Set {
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		hists:    make(map[string]*histogram),
+		meta:     make(map[string]seriesID),
 	}
+}
+
+// seriesKey canonicalizes (name, labels) into the map key the series
+// lives under: `name{k="v",…}` with labels sorted by key and values
+// escaped, i.e. the Prometheus series syntax. Unlabeled series keep the
+// bare name, so the unlabeled fast paths never pay for this.
+func seriesKey(name string, labels []Label) (string, seriesID) {
+	if len(labels) == 0 {
+		return name, seriesID{name: name}
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String(), seriesID{name: name, labels: ls}
+}
+
+// escapeLabelValue applies the Prometheus exposition escapes to a label
+// value: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 // Inc adds delta to the named counter, creating it at zero first.
 func (s *Set) Inc(name string, delta int64) {
 	s.mu.Lock()
 	s.counters[name] += delta
+	s.mu.Unlock()
+}
+
+// IncL adds delta to the labeled counter series.
+func (s *Set) IncL(name string, delta int64, labels ...Label) {
+	key, id := seriesKey(name, labels)
+	s.mu.Lock()
+	if _, ok := s.meta[key]; !ok && len(labels) > 0 {
+		s.meta[key] = id
+	}
+	s.counters[key] += delta
 	s.mu.Unlock()
 }
 
@@ -53,21 +118,42 @@ func (s *Set) SetGauge(name string, v float64) {
 	s.mu.Unlock()
 }
 
+// SetGaugeL records the current value of the labeled gauge series.
+func (s *Set) SetGaugeL(name string, v float64, labels ...Label) {
+	key, id := seriesKey(name, labels)
+	s.mu.Lock()
+	if _, ok := s.meta[key]; !ok && len(labels) > 0 {
+		s.meta[key] = id
+	}
+	s.gauges[key] = v
+	s.mu.Unlock()
+}
+
 // Observe adds one sample to the named histogram. Non-finite samples are
 // dropped; negative ones clamp to zero (durations and counts are the
 // only things observed here).
 func (s *Set) Observe(name string, v float64) {
+	s.ObserveL(name, v)
+}
+
+// ObserveL adds one sample to the labeled histogram series, with the
+// same clamping rules as Observe.
+func (s *Set) ObserveL(name string, v float64, labels ...Label) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	if v < 0 {
 		v = 0
 	}
+	key, id := seriesKey(name, labels)
 	s.mu.Lock()
-	h := s.hists[name]
+	h := s.hists[key]
 	if h == nil {
 		h = &histogram{min: math.Inf(1), buckets: make(map[int]int64)}
-		s.hists[name] = h
+		s.hists[key] = h
+		if len(labels) > 0 {
+			s.meta[key] = id
+		}
 	}
 	h.observe(v)
 	s.mu.Unlock()
@@ -111,37 +197,55 @@ func (h *histogram) observe(v float64) {
 	h.buckets[bucketOf(v)]++
 }
 
-// quantile estimates the q-quantile (0..1) from the bucket upper edges,
-// clamped to the observed min/max so tiny sample counts do not report
-// impossible values.
-func (h *histogram) quantile(q float64) float64 {
-	if h.count == 0 {
-		return 0
-	}
+// bucketsSorted flattens the bucket map into ascending upper-edge
+// order, once — every quantile (and the Prometheus exposition) then
+// walks the same slice instead of re-sorting indices per call.
+func (h *histogram) bucketsSorted() []HistBucket {
 	idxs := make([]int, 0, len(h.buckets))
 	for i := range h.buckets {
 		idxs = append(idxs, i)
 	}
 	sort.Ints(idxs)
-	rank := int64(math.Ceil(q * float64(h.count)))
+	out := make([]HistBucket, len(idxs))
+	for j, i := range idxs {
+		out[j] = HistBucket{Upper: bucketUpper(i), Count: h.buckets[i]}
+	}
+	return out
+}
+
+// quantileFrom estimates the q-quantile (0..1) from pre-sorted buckets,
+// clamped to the observed min/max so tiny sample counts do not report
+// impossible values.
+func quantileFrom(bs []HistBucket, count int64, min, max, q float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(count)))
 	if rank < 1 {
 		rank = 1
 	}
 	var seen int64
-	for _, i := range idxs {
-		seen += h.buckets[i]
+	for _, b := range bs {
+		seen += b.Count
 		if seen >= rank {
-			v := bucketUpper(i)
-			if v > h.max {
-				v = h.max
+			v := b.Upper
+			if v > max {
+				v = max
 			}
-			if v < h.min {
-				v = h.min
+			if v < min {
+				v = min
 			}
 			return v
 		}
 	}
-	return h.max
+	return max
+}
+
+// HistBucket is one non-empty log-scale bucket: samples ≤ Upper that
+// were not counted by a lower bucket (i.e. per-bucket, not cumulative).
+type HistBucket struct {
+	Upper float64
+	Count int64
 }
 
 // HistSnapshot is the exported view of one histogram.
@@ -151,14 +255,20 @@ type HistSnapshot struct {
 	Min, Max      float64
 	Mean          float64
 	P50, P90, P99 float64
+	Buckets       []HistBucket // ascending upper edge, non-empty buckets only
 }
 
 // Snapshot is a point-in-time copy of every metric in a Set. It is
-// detached: mutating the Set afterwards does not change it.
+// detached: mutating the Set afterwards does not change it. Map keys
+// are canonical series keys (`name{k="v"}` for labeled series).
 type Snapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]float64
 	Histograms map[string]HistSnapshot
+
+	// meta maps labeled series keys back to (name, sorted labels); the
+	// Prometheus exposition needs the split, Render does not.
+	meta map[string]seriesID
 }
 
 // Snapshot copies the current state of every metric.
@@ -169,6 +279,7 @@ func (s *Set) Snapshot() Snapshot {
 		Counters:   make(map[string]int64, len(s.counters)),
 		Gauges:     make(map[string]float64, len(s.gauges)),
 		Histograms: make(map[string]HistSnapshot, len(s.hists)),
+		meta:       make(map[string]seriesID, len(s.meta)),
 	}
 	for k, v := range s.counters {
 		snap.Counters[k] = v
@@ -176,13 +287,17 @@ func (s *Set) Snapshot() Snapshot {
 	for k, v := range s.gauges {
 		snap.Gauges[k] = v
 	}
+	for k, id := range s.meta {
+		snap.meta[k] = id
+	}
 	for k, h := range s.hists {
-		hs := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		bs := h.bucketsSorted()
+		hs := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Buckets: bs}
 		if h.count > 0 {
 			hs.Mean = h.sum / float64(h.count)
-			hs.P50 = h.quantile(0.50)
-			hs.P90 = h.quantile(0.90)
-			hs.P99 = h.quantile(0.99)
+			hs.P50 = quantileFrom(bs, h.count, h.min, h.max, 0.50)
+			hs.P90 = quantileFrom(bs, h.count, h.min, h.max, 0.90)
+			hs.P99 = quantileFrom(bs, h.count, h.min, h.max, 0.99)
 		} else {
 			hs.Min = 0
 		}
@@ -196,6 +311,15 @@ func (s *Set) Counter(name string) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.counters[name]
+}
+
+// CounterL returns the labeled counter series' current value (0 if
+// absent).
+func (s *Set) CounterL(name string, labels ...Label) int64 {
+	key, _ := seriesKey(name, labels)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[key]
 }
 
 // Gauge returns the named gauge's current value (0 if absent).
@@ -229,7 +353,9 @@ func (snap Snapshot) Render(w io.Writer) {
 		}
 		sort.Strings(ks)
 		for _, k := range ks {
-			fmt.Fprintf(w, "  %-36s %.3f\n", k, snap.Gauges[k])
+			// %.6g, not %.3f: gauges hold byte counts and RSS peaks in the
+			// gigabytes, which fixed-point mangles into walls of digits.
+			fmt.Fprintf(w, "  %-36s %.6g\n", k, snap.Gauges[k])
 		}
 	}
 	if len(snap.Histograms) > 0 {

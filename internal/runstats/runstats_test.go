@@ -99,6 +99,118 @@ func TestRender(t *testing.T) {
 	}
 }
 
+// TestRenderLargeGauges: %.3f printed multi-gigabyte byte counts as
+// 13-digit walls; %.6g must keep them readable and keep small gauges
+// exact.
+func TestRenderLargeGauges(t *testing.T) {
+	s := NewSet()
+	s.SetGauge("mem.peak_bytes", 12_345_678_901)
+	s.SetGauge("budget.used", 0.25)
+	var b strings.Builder
+	s.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "1.23457e+10") {
+		t.Errorf("large gauge not rendered in %%.6g form:\n%s", out)
+	}
+	if strings.Contains(out, "12345678901.000") {
+		t.Errorf("large gauge still fixed-point mangled:\n%s", out)
+	}
+	if !strings.Contains(out, "0.25") {
+		t.Errorf("small gauge lost precision:\n%s", out)
+	}
+}
+
+func TestLabeledSeries(t *testing.T) {
+	s := NewSet()
+	s.IncL("http.requests", 1, Label{"code", "200"}, Label{"method", "GET"})
+	// Same labels in the other order must hit the same series.
+	s.IncL("http.requests", 2, Label{"method", "GET"}, Label{"code", "200"})
+	s.IncL("http.requests", 5, Label{"code", "404"}, Label{"method", "GET"})
+	s.Inc("http.requests", 7) // unlabeled series is distinct
+
+	if got := s.CounterL("http.requests", Label{"method", "GET"}, Label{"code", "200"}); got != 3 {
+		t.Errorf("labeled counter = %d, want 3", got)
+	}
+	if got := s.Counter("http.requests"); got != 7 {
+		t.Errorf("unlabeled counter = %d, want 7", got)
+	}
+	snap := s.Snapshot()
+	key := `http.requests{code="200",method="GET"}`
+	if snap.Counters[key] != 3 {
+		t.Errorf("canonical key %q = %d, want 3; keys: %v", key, snap.Counters[key], snap.Counters)
+	}
+	id := snap.id(key)
+	if id.name != "http.requests" || len(id.labels) != 2 || id.labels[0].Key != "code" {
+		t.Errorf("series identity = %+v", id)
+	}
+
+	s.SetGaugeL("pool.size", 4, Label{"pool", "a"})
+	s.ObserveL("latency.ms", 12, Label{"route", "/v1/list"})
+	snap = s.Snapshot()
+	if snap.Gauges[`pool.size{pool="a"}`] != 4 {
+		t.Errorf("labeled gauge missing: %v", snap.Gauges)
+	}
+	if snap.Histograms[`latency.ms{route="/v1/list"}`].Count != 1 {
+		t.Errorf("labeled histogram missing: %v", snap.Histograms)
+	}
+}
+
+func TestSeriesKeyEscaping(t *testing.T) {
+	key, _ := seriesKey("m", []Label{{"k", "a\"b\\c\nd"}})
+	if key != `m{k="a\"b\\c\nd"}` {
+		t.Errorf("escaped key = %q", key)
+	}
+}
+
+// TestSnapshotBuckets: the per-Snapshot precomputed bucket slice must be
+// sorted, non-cumulative, and consistent with the quantiles.
+func TestSnapshotBuckets(t *testing.T) {
+	s := NewSet()
+	for _, v := range []float64{0, 0.5, 3, 3, 700, 12000} {
+		s.Observe("x", v)
+	}
+	h := s.Snapshot().Histograms["x"]
+	if len(h.Buckets) == 0 {
+		t.Fatalf("no buckets in snapshot")
+	}
+	var total int64
+	for i, b := range h.Buckets {
+		total += b.Count
+		if i > 0 && h.Buckets[i].Upper <= h.Buckets[i-1].Upper {
+			t.Fatalf("buckets not ascending: %+v", h.Buckets)
+		}
+	}
+	if total != h.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count)
+	}
+	if got := quantileFrom(h.Buckets, h.Count, h.Min, h.Max, 0.5); got != h.P50 {
+		t.Fatalf("quantileFrom(p50) = %v, snapshot P50 = %v", got, h.P50)
+	}
+}
+
+// BenchmarkHistSnapshot guards the satellite fix: the three quantiles of
+// a snapshot share one sorted bucket slice instead of re-sorting the
+// bucket map per quantile call.
+func BenchmarkHistSnapshot(b *testing.B) {
+	s := NewSet()
+	v := 1e-3
+	for i := 0; i < 10000; i++ {
+		s.Observe("wide", v)
+		v *= 1.01 // ~43 decades → ~170 distinct buckets
+		if v > 1e40 {
+			v = 1e-3
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := s.Snapshot()
+		if snap.Histograms["wide"].Count != 10000 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	s := NewSet()
 	var wg sync.WaitGroup
