@@ -4,11 +4,12 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-baseline bench-gate serve-smoke trace-smoke lint lint-baseline ci fmt-check clean
+.PHONY: build test test-race bench bench-smoke bench-baseline bench-gate serve-smoke trace-smoke lint lint-baseline alloc-report ci fmt-check clean
 
 # Accepted pre-existing lint findings; see `detlint -baseline`. The file
-# is committed (currently empty — the tree self-lints clean) so adopting
-# a future check never requires fixing the whole tree in one PR.
+# is committed (currently the allocation-churn backlog recorded when the
+# hot-path checks were adopted) so adopting a new check never requires
+# fixing the whole tree in one PR.
 BASELINE := detlint-baseline.json
 
 build:
@@ -44,9 +45,13 @@ BENCH_COUNT ?= 3
 # Regression-gate tolerances. ns/op is noisy — machine, load, and CPU
 # count all move it — so the gate is generous there. allocs/op is
 # deterministic for identical code on any machine, so it is held tight:
-# an allocation regression is a code change, not noise.
+# an allocation regression is a code change, not noise. Custom metrics
+# (retained-B/op from the StreamStudy benchmark) are deterministic
+# counts too, but byte totals move with runtime internals like map
+# bucket growth, so they get a middle-ground tolerance.
 BENCH_TOL ?= 0.25
 BENCH_TOL_ALLOCS ?= 0.05
+BENCH_TOL_EXTRA ?= 0.20
 
 # Re-record the committed benchmark baseline (run on a quiet machine,
 # inspect the diff, commit BENCH_baseline.json — see README).
@@ -64,7 +69,8 @@ bench-gate:
 	cat bench.txt
 	$(GO) run ./cmd/benchjson -o BENCH_ci.json bench.txt
 	$(GO) run ./cmd/benchjson -old BENCH_baseline.json -new BENCH_ci.json \
-		-tol $(BENCH_TOL) -tol-allocs $(BENCH_TOL_ALLOCS) -o BENCH_delta.txt; \
+		-tol $(BENCH_TOL) -tol-allocs $(BENCH_TOL_ALLOCS) \
+		-tol-extra $(BENCH_TOL_EXTRA) -o BENCH_delta.txt; \
 		status=$$?; cat BENCH_delta.txt; exit $$status
 
 # End-to-end serving smoke: boot the hisparserve control plane on an
@@ -100,6 +106,13 @@ lint:
 # is a justified keep — prefer fixing, or //detlint:allow with a reason).
 lint-baseline:
 	$(GO) run ./cmd/detlint -baseline $(BASELINE) -write-baseline
+
+# Ranked hot-path allocation report: every allocation site reachable
+# from a //detlint:hotpath entry point, worst function first. The JSON
+# is the CI artifact; the text rendering is for humans.
+alloc-report:
+	$(GO) run ./cmd/detlint -hotpaths -format json -o detlint-hotpaths.json
+	$(GO) run ./cmd/detlint -hotpaths
 
 # Fail (with the offending files listed) if anything is not gofmt-clean.
 fmt-check:

@@ -15,10 +15,12 @@
 //
 //	benchjson -old BENCH_main.json -new BENCH_pr.json -tol 0.10
 //
-// It prints per-benchmark ns/op and allocs/op deltas and exits 1 when
-// any benchmark regresses beyond the fractional tolerance (default
-// +10%). Benchmarks present on only one side are reported but are not
-// regressions — renames must not mask or fabricate a slowdown.
+// It prints per-benchmark ns/op, allocs/op, and custom-metric deltas
+// and exits 1 when any benchmark regresses beyond its fractional
+// tolerance (default +10%; -tol-allocs and -tol-extra override the
+// allocs/op and b.ReportMetric tolerances separately). Benchmarks
+// present on only one side are reported but are not regressions —
+// renames must not mask or fabricate a slowdown.
 package main
 
 import (
@@ -39,8 +41,8 @@ import (
 // Result is one benchmark line's parsed metrics. Iterations and ns/op
 // are always present; B/op and allocs/op only when the benchmark
 // reports allocations. Extra holds custom b.ReportMetric values keyed
-// by unit (e.g. "retained-B/op") — recorded in the artifact for trend
-// inspection but not gated.
+// by unit (e.g. "retained-B/op") — gated in comparison mode under
+// -tol-extra when both artifacts report the unit.
 type Result struct {
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
@@ -165,7 +167,8 @@ func parseBenchFields(line string) (string, Result, error) {
 
 // Delta is one benchmark's old→new comparison. Changes are fractional:
 // +0.05 is five percent slower (or more allocations). AllocsChange is
-// nil when either side did not report allocations.
+// nil when either side did not report allocations. Extra compares
+// custom b.ReportMetric units present on both sides, unit-sorted.
 type Delta struct {
 	Name         string
 	OldNs, NewNs float64
@@ -173,7 +176,18 @@ type Delta struct {
 	OldAllocs    *int64
 	NewAllocs    *int64
 	AllocsChange *float64
+	Extra        []ExtraDelta
 	Regressed    bool
+}
+
+// ExtraDelta is one custom metric's old→new comparison. A unit present
+// on only one side is not compared: a benchmark that starts or stops
+// reporting a metric is a code change, not a regression.
+type ExtraDelta struct {
+	Unit      string
+	Old, New  float64
+	Change    float64
+	Regressed bool
 }
 
 // fracChange returns (new-old)/old, treating a zero baseline specially:
@@ -191,11 +205,14 @@ func fracChange(old, new float64) float64 {
 
 // compare diffs two artifacts benchmark-by-benchmark. Deltas come back
 // sorted by name; added and removed list benchmarks present on only one
-// side. regressed is true when any delta exceeds tolNs on ns/op or
-// tolAllocs on allocs/op. The tolerances are separate because the two
-// metrics have very different noise floors: ns/op varies with machine
-// and load, while allocs/op is deterministic for the same code.
-func compare(old, new map[string]Result, tolNs, tolAllocs float64) (deltas []Delta, added, removed []string, regressed bool) {
+// side. regressed is true when any delta exceeds tolNs on ns/op,
+// tolAllocs on allocs/op, or tolExtra on a custom metric reported by
+// both sides. The tolerances are separate because the metrics have very
+// different noise floors: ns/op varies with machine and load, allocs/op
+// is deterministic for the same code, and custom metrics (e.g.
+// retained-B/op) sit in between — deterministic counts but sensitive to
+// runtime internals like map growth, so they get their own knob.
+func compare(old, new map[string]Result, tolNs, tolAllocs, tolExtra float64) (deltas []Delta, added, removed []string, regressed bool) {
 	names := make([]string, 0, len(old))
 	for name := range old {
 		if _, ok := new[name]; ok {
@@ -227,7 +244,25 @@ func compare(old, new map[string]Result, tolNs, tolAllocs float64) (deltas []Del
 			c := fracChange(float64(*o.AllocsPerOp), float64(*n.AllocsPerOp))
 			d.AllocsChange = &c
 		}
+		units := make([]string, 0, len(o.Extra))
+		for unit := range o.Extra {
+			if _, ok := n.Extra[unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			e := ExtraDelta{Unit: unit, Old: o.Extra[unit], New: n.Extra[unit]}
+			e.Change = fracChange(e.Old, e.New)
+			e.Regressed = e.Change > tolExtra
+			d.Extra = append(d.Extra, e)
+		}
 		d.Regressed = d.NsChange > tolNs || (d.AllocsChange != nil && *d.AllocsChange > tolAllocs)
+		for _, e := range d.Extra {
+			if e.Regressed {
+				d.Regressed = true
+			}
+		}
 		if d.Regressed {
 			regressed = true
 		}
@@ -271,6 +306,16 @@ func renderDeltas(w io.Writer, deltas []Delta, added, removed []string) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	for _, d := range deltas {
+		for _, e := range d.Extra {
+			mark := ""
+			if e.Regressed {
+				mark = "  REGRESSION"
+			}
+			fmt.Fprintf(w, "extra: %s %s %.0f -> %.0f (%+.1f%%)%s\n",
+				d.Name, e.Unit, e.Old, e.New, e.Change*100, mark)
+		}
+	}
 	for _, name := range added {
 		fmt.Fprintf(w, "added: %s (no baseline)\n", name)
 	}
@@ -286,6 +331,7 @@ func main() {
 	newFile := flag.String("new", "", "comparison mode: candidate benchjson artifact")
 	tol := flag.Float64("tol", 0.10, "comparison mode: fractional regression tolerance on ns/op")
 	tolAllocs := flag.Float64("tol-allocs", -1, "comparison mode: fractional tolerance on allocs/op (default: same as -tol)")
+	tolExtra := flag.Float64("tol-extra", -1, "comparison mode: fractional tolerance on custom metrics (default: same as -tol)")
 	flag.Parse()
 
 	if (*oldFile == "") != (*newFile == "") {
@@ -294,12 +340,15 @@ func main() {
 	if *tolAllocs < 0 {
 		*tolAllocs = *tol
 	}
+	if *tolExtra < 0 {
+		*tolExtra = *tol
+	}
 	if *oldFile != "" {
 		oldRes, err := readArtifact(*oldFile)
 		fatal(err)
 		newRes, err := readArtifact(*newFile)
 		fatal(err)
-		deltas, added, removed, regressed := compare(oldRes, newRes, *tol, *tolAllocs)
+		deltas, added, removed, regressed := compare(oldRes, newRes, *tol, *tolAllocs, *tolExtra)
 
 		w := io.Writer(os.Stdout)
 		if *out != "" {
@@ -309,8 +358,8 @@ func main() {
 			w = f
 		}
 		fatal(renderDeltas(w, deltas, added, removed))
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks compared, tolerance %+.1f%% ns/op, %+.1f%% allocs/op\n",
-			len(deltas), *tol*100, *tolAllocs*100)
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks compared, tolerance %+.1f%% ns/op, %+.1f%% allocs/op, %+.1f%% extra\n",
+			len(deltas), *tol*100, *tolAllocs*100, *tolExtra*100)
 		if regressed {
 			fmt.Fprintln(os.Stderr, "benchjson: regression beyond tolerance")
 			os.Exit(1)

@@ -107,7 +107,7 @@ func TestCompare(t *testing.T) {
 		"BenchmarkAllocs-8": {Iterations: 10, NsPerOp: 90, AllocsPerOp: i64(20)}, // faster but 2× allocs
 		"BenchmarkAdded-8":  {Iterations: 10, NsPerOp: 50},
 	}
-	deltas, added, removed, regressed := compare(old, new, 0.10, 0.10)
+	deltas, added, removed, regressed := compare(old, new, 0.10, 0.10, 0.10)
 	if !regressed {
 		t.Fatal("expected a regression")
 	}
@@ -142,7 +142,7 @@ func TestCompare(t *testing.T) {
 // TestCompareCleanPass asserts the no-regression path reports nothing.
 func TestCompareCleanPass(t *testing.T) {
 	res := map[string]Result{"BenchmarkA-8": {Iterations: 1, NsPerOp: 100, AllocsPerOp: i64(5)}}
-	deltas, added, removed, regressed := compare(res, res, 0.10, 0.10)
+	deltas, added, removed, regressed := compare(res, res, 0.10, 0.10, 0.10)
 	if regressed || len(added) != 0 || len(removed) != 0 {
 		t.Fatalf("self-comparison must be clean: %+v %v %v", deltas, added, removed)
 	}
@@ -226,14 +226,47 @@ func TestCompareSplitTolerance(t *testing.T) {
 	old := map[string]Result{"BenchmarkA": {Iterations: 1, NsPerOp: 100, AllocsPerOp: i64(100)}}
 	new := map[string]Result{"BenchmarkA": {Iterations: 1, NsPerOp: 118, AllocsPerOp: i64(108)}}
 	// +18% ns within the generous 25%; +8% allocs breaches the tight 5%.
-	if _, _, _, regressed := compare(old, new, 0.25, 0.05); !regressed {
+	if _, _, _, regressed := compare(old, new, 0.25, 0.05, 0.10); !regressed {
 		t.Error("8% allocs growth must fail a 5% allocs tolerance")
 	}
 	// Both within their own tolerances passes, even though allocs growth
 	// would breach the ns tolerance if they shared one.
 	new["BenchmarkA"] = Result{Iterations: 1, NsPerOp: 118, AllocsPerOp: i64(103)}
-	if _, _, _, regressed := compare(old, new, 0.25, 0.05); regressed {
+	if _, _, _, regressed := compare(old, new, 0.25, 0.05, 0.10); regressed {
 		t.Error("deltas within split tolerances must pass")
+	}
+}
+
+// TestCompareExtraMetrics: custom b.ReportMetric units present in both
+// artifacts are gated under their own tolerance; one-sided units are
+// ignored rather than treated as regressions.
+func TestCompareExtraMetrics(t *testing.T) {
+	old := map[string]Result{"BenchmarkA": {
+		Iterations: 1, NsPerOp: 100,
+		Extra: map[string]float64{"retained-B/op": 1000, "old-only/op": 7},
+	}}
+	grew := map[string]Result{"BenchmarkA": {
+		Iterations: 1, NsPerOp: 100,
+		Extra: map[string]float64{"retained-B/op": 1300, "new-only/op": 9},
+	}}
+	deltas, _, _, regressed := compare(old, grew, 0.10, 0.10, 0.20)
+	if !regressed {
+		t.Fatal("+30% retained-B/op must breach a 20% extra tolerance")
+	}
+	d := deltas[0]
+	if len(d.Extra) != 1 || d.Extra[0].Unit != "retained-B/op" {
+		t.Fatalf("extras must cover shared units only, got %+v", d.Extra)
+	}
+	if e := d.Extra[0]; !e.Regressed || math.Abs(e.Change-0.30) > 1e-12 {
+		t.Errorf("retained delta = %+v", e)
+	}
+	// Within tolerance — and a shrink — passes.
+	grew["BenchmarkA"] = Result{
+		Iterations: 1, NsPerOp: 100,
+		Extra: map[string]float64{"retained-B/op": 900},
+	}
+	if _, _, _, regressed := compare(old, grew, 0.10, 0.10, 0.20); regressed {
+		t.Error("-10% retained-B/op must pass")
 	}
 }
 

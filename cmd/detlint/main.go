@@ -3,6 +3,7 @@
 //
 //	detlint [-dir .] [-checks walltime,taint] [-format text|json|sarif]
 //	        [-baseline file] [-write-baseline] [-o file] [-list]
+//	        [-hotpaths]
 //
 // Exit codes follow the CI contract:
 //
@@ -18,7 +19,15 @@
 // -baseline file filters findings through a recorded baseline: entries
 // in the file are suppressed, anything new fails. -write-baseline
 // records the current findings into the baseline file and exits 0 —
-// the adopt-incrementally workflow for new checks.
+// the adopt-incrementally workflow for new checks. When the baseline
+// file already exists, re-recording also prints the entries whose
+// occurrence count dropped to zero so suppression rot is visible.
+//
+// -hotpaths switches to report mode: instead of running checks, emit
+// the ranked hot-path allocation report (allocation sites in functions
+// reachable from //detlint:hotpath entry points, with rendered call
+// chains). The report honors -format text|json|sarif and -o, and always
+// exits 0 — it is an inventory, not a gate.
 package main
 
 import (
@@ -27,18 +36,18 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	dir := fs.String("dir", ".", "module root (directory containing go.mod)")
 	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all)")
 	format := fs.String("format", "", "output format: text, json, or sarif (default: text)")
@@ -47,13 +56,14 @@ func run() int {
 	writeBaseline := fs.Bool("write-baseline", false, "record current findings into -baseline and exit 0")
 	outFile := fs.String("o", "", "write output to file instead of stdout")
 	list := fs.Bool("list", false, "list available checks and exit")
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	hotpaths := fs.Bool("hotpaths", false, "emit the hot-path allocation report instead of running checks")
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
 		for _, c := range lint.Checks() {
-			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
 		}
 		return 0
 	}
@@ -67,11 +77,11 @@ func run() int {
 		}
 	case "text", "json", "sarif":
 	default:
-		fmt.Fprintf(os.Stderr, "detlint: unknown format %q (text, json, sarif)\n", *format)
+		fmt.Fprintf(stderr, "detlint: unknown format %q (text, json, sarif)\n", *format)
 		return 2
 	}
 	if *writeBaseline && *baselineFile == "" {
-		fmt.Fprintln(os.Stderr, "detlint: -write-baseline requires -baseline <file>")
+		fmt.Fprintln(stderr, "detlint: -write-baseline requires -baseline <file>")
 		return 2
 	}
 
@@ -82,7 +92,7 @@ func run() int {
 			name = strings.TrimSpace(name)
 			c := lint.CheckByName(name)
 			if c == nil {
-				fmt.Fprintf(os.Stderr, "detlint: unknown check %q (use -list)\n", name)
+				fmt.Fprintf(stderr, "detlint: unknown check %q (use -list)\n", name)
 				return 2
 			}
 			checks = append(checks, c)
@@ -91,24 +101,57 @@ func run() int {
 
 	pkgs, err := lint.LoadModule(*dir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		fmt.Fprintf(stderr, "detlint: %v\n", err)
 		return 2
 	}
-	diags := lint.Run(pkgs, checks)
-	relativize(diags, *dir)
 
-	if *writeBaseline {
-		f, err := os.Create(*baselineFile)
+	out := stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			fmt.Fprintf(stderr, "detlint: %v\n", err)
 			return 2
 		}
 		defer f.Close()
-		if err := lint.NewBaseline(diags).Write(f); err != nil {
-			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		out = f
+	}
+
+	if *hotpaths {
+		rep := lint.HotpathReport(pkgs)
+		rep.Relativize(*dir)
+		if err := renderHotpaths(out, *format, rep); err != nil {
+			fmt.Fprintf(stderr, "detlint: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "detlint: wrote baseline %s (%d findings)\n", *baselineFile, len(diags))
+		fmt.Fprintf(stderr, "detlint: hot-path report: %d entry point(s), %d hot function(s), %d allocation site(s)\n",
+			len(rep.Entries), len(rep.Functions), rep.TotalSites)
+		return 0
+	}
+
+	diags := lint.Run(pkgs, checks)
+	lint.Relativize(diags, *dir)
+
+	if *writeBaseline {
+		cur := lint.NewBaseline(diags)
+		// Surface suppression rot: entries of the previous recording whose
+		// fingerprint no longer occurs at all.
+		if prev, err := lint.ReadBaseline(*baselineFile); err == nil {
+			for _, e := range prev.Prune(cur) {
+				fmt.Fprintf(stderr, "detlint: pruned stale baseline entry: [%s] %s: %s (count %d)\n",
+					e.Check, e.File, e.Message, e.Count)
+			}
+		}
+		f, err := os.Create(*baselineFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "detlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := cur.Write(f); err != nil {
+			fmt.Fprintf(stderr, "detlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "detlint: wrote baseline %s (%d findings)\n", *baselineFile, len(diags))
 		return 0
 	}
 
@@ -116,25 +159,14 @@ func run() int {
 	if *baselineFile != "" {
 		base, err := lint.ReadBaseline(*baselineFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+			fmt.Fprintf(stderr, "detlint: %v\n", err)
 			return 2
 		}
 		diags, suppressed = base.Filter(diags)
 	}
 
-	out := os.Stdout
-	if *outFile != "" {
-		f, err := os.Create(*outFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
-			return 2
-		}
-		defer f.Close()
-		out = f
-	}
-
 	if err := render(out, *format, checks, pkgs, diags, suppressed); err != nil {
-		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		fmt.Fprintf(stderr, "detlint: %v\n", err)
 		return 2
 	}
 	// Whenever the primary stream is machine-readable or a file (the
@@ -142,10 +174,10 @@ func run() int {
 	// so a failing run is debuggable without opening the artifact.
 	if *format != "text" || *outFile != "" {
 		for _, d := range diags {
-			fmt.Fprintln(os.Stderr, d)
+			fmt.Fprintln(stderr, d)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "detlint: %d packages, %d findings, %d suppressed by baseline\n",
+	fmt.Fprintf(stderr, "detlint: %d packages, %d findings, %d suppressed by baseline\n",
 		len(pkgs), len(diags), len(suppressed))
 
 	if len(diags) > 0 {
@@ -192,16 +224,22 @@ func render(out io.Writer, format string, checks []*lint.Check, pkgs []*lint.Pac
 	}
 }
 
-// relativize rewrites absolute diagnostic paths relative to the module
-// root so output is stable across machines and CI workspaces.
-func relativize(diags []lint.Diagnostic, root string) {
-	abs, err := filepath.Abs(root)
-	if err != nil {
-		return
-	}
-	for i := range diags {
-		if rel, err := filepath.Rel(abs, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].File = filepath.ToSlash(rel)
-		}
+// hotallocRule is the synthetic rule the SARIF rendering of the
+// hot-path report carries its sites under.
+var hotallocRule = &lint.Check{
+	Name: "hotalloc",
+	Doc:  "allocation site in a function reachable from a //detlint:hotpath entry point",
+}
+
+func renderHotpaths(out io.Writer, format string, rep *lint.HotReport) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	case "sarif":
+		return lint.WriteSARIF(out, []*lint.Check{hotallocRule}, rep.Diagnostics())
+	default:
+		return rep.WriteText(out)
 	}
 }

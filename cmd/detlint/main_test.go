@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureMod is a self-contained module (testdata is invisible to the
+// outer build) whose one hot function trips walltime, allocloop, and
+// retain.
+const fixtureMod = "testdata/mod"
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestChecksSubset runs named subsets over the fixture module: the
+// selected check's findings appear, everything else stays silent.
+func TestChecksSubset(t *testing.T) {
+	code, out, _ := runCLI(t, "-dir", fixtureMod, "-checks", "walltime")
+	if code != 1 {
+		t.Fatalf("walltime subset exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "[walltime]") {
+		t.Errorf("output missing walltime finding:\n%s", out)
+	}
+	if strings.Contains(out, "[allocloop]") || strings.Contains(out, "[retain]") {
+		t.Errorf("subset run leaked other checks' findings:\n%s", out)
+	}
+
+	// A subset the fixture does not trip comes back clean.
+	code, out, _ = runCLI(t, "-dir", fixtureMod, "-checks", "gorleak,mutexcopy")
+	if code != 0 {
+		t.Errorf("clean subset exit = %d, want 0\n%s", code, out)
+	}
+
+	// allocflow checks fire through the subset flag too.
+	code, out, _ = runCLI(t, "-dir", fixtureMod, "-checks", "allocloop,retain")
+	if code != 1 || !strings.Contains(out, "[allocloop]") || !strings.Contains(out, "[retain]") {
+		t.Errorf("allocflow subset exit = %d, want 1 with both checks firing:\n%s", code, out)
+	}
+}
+
+// TestUnknownCheck is the flag-error contract: exit 2, named in stderr.
+func TestUnknownCheck(t *testing.T) {
+	code, _, errOut := runCLI(t, "-dir", fixtureMod, "-checks", "nosuch")
+	if code != 2 {
+		t.Fatalf("unknown check exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "nosuch") {
+		t.Errorf("stderr does not name the unknown check:\n%s", errOut)
+	}
+}
+
+// TestHotpathsReport exercises -hotpaths: exit 0 even though the module
+// has findings, report names the entry point and sites, and the JSON
+// rendering is byte-identical across runs.
+func TestHotpathsReport(t *testing.T) {
+	code, text, _ := runCLI(t, "-dir", fixtureMod, "-hotpaths")
+	if code != 0 {
+		t.Fatalf("-hotpaths exit = %d, want 0\n%s", code, text)
+	}
+	for _, want := range []string{"entry: app.Hot", "[composite]", "retained", "in-loop"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+
+	_, first, _ := runCLI(t, "-dir", fixtureMod, "-hotpaths", "-format", "json")
+	_, again, _ := runCLI(t, "-dir", fixtureMod, "-hotpaths", "-format", "json")
+	if first != again {
+		t.Errorf("-hotpaths json diverged across runs:\n--- first ---\n%s--- again ---\n%s", first, again)
+	}
+	if !strings.Contains(first, `"entries"`) || !strings.Contains(first, `"fingerprint"`) {
+		t.Errorf("json report missing expected fields:\n%s", first)
+	}
+}
+
+// TestWriteBaselinePrune re-records a baseline after "fixing" findings
+// (by narrowing -checks) and expects the dropped fingerprints printed.
+func TestWriteBaselinePrune(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, _, errOut := runCLI(t, "-dir", fixtureMod, "-baseline", base, "-write-baseline")
+	if code != 0 {
+		t.Fatalf("initial -write-baseline exit = %d\n%s", code, errOut)
+	}
+	if strings.Contains(errOut, "pruned stale baseline entry") {
+		t.Errorf("first recording has nothing to prune:\n%s", errOut)
+	}
+	if _, err := os.Stat(base); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	// Re-record with only walltime running: the allocloop/retain entries
+	// drop to zero and must be reported as pruned.
+	code, _, errOut = runCLI(t, "-dir", fixtureMod, "-baseline", base, "-write-baseline", "-checks", "walltime")
+	if code != 0 {
+		t.Fatalf("re-record exit = %d\n%s", code, errOut)
+	}
+	for _, check := range []string{"[allocloop]", "[retain]"} {
+		if !strings.Contains(errOut, "pruned stale baseline entry: "+check) {
+			t.Errorf("prune report missing %s entry:\n%s", check, errOut)
+		}
+	}
+	if strings.Contains(errOut, "pruned stale baseline entry: [walltime]") {
+		t.Errorf("walltime still fires and must not be pruned:\n%s", errOut)
+	}
+
+	// The re-recorded (walltime-only) baseline suppresses a walltime run.
+	code, _, errOut = runCLI(t, "-dir", fixtureMod, "-baseline", base, "-checks", "walltime")
+	if code != 0 {
+		t.Errorf("baseline-filtered walltime run exit = %d, want 0\n%s", code, errOut)
+	}
+}

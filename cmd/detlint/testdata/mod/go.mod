@@ -1,0 +1,3 @@
+module tinymod
+
+go 1.22

@@ -1,0 +1,23 @@
+// Package app is the detlint CLI test fixture: a tiny module whose one
+// hot function trips walltime, allocloop, and retain at once, so CLI
+// tests can select subsets and diff baselines.
+package app
+
+import "time"
+
+// Item is the per-iteration payload.
+type Item struct {
+	At time.Time
+	ID int
+}
+
+// Hot accumulates items with a wall-clock stamp per iteration.
+//
+//detlint:hotpath -- fixture entry
+func Hot(n int) []*Item {
+	var out []*Item
+	for i := 0; i < n; i++ {
+		out = append(out, &Item{At: time.Now(), ID: i})
+	}
+	return out
+}

@@ -10,7 +10,6 @@
 package browser
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -100,7 +99,82 @@ func (c Config) withDefaults() Config {
 
 // Browser loads pages. Not safe for concurrent use.
 type Browser struct {
-	cfg Config
+	cfg     Config
+	scratch loadScratch
+}
+
+// loadScratch holds the per-Browser buffers the load path reuses across
+// loads — the allocflow report showed the per-load teardown of these
+// (five maps, six per-object slices, two ~5 KB RNG states inside the
+// simnet model, the task heap) dominating hot-path churn. Browser is
+// documented not safe for concurrent use, so one scratch set per
+// Browser is safe. Everything here is reset at the top of loadAttempt;
+// nothing in it escapes a load — the HAR entries slice, which the
+// returned log aliases, is deliberately NOT part of the scratch and is
+// allocated fresh every load.
+type loadScratch struct {
+	net       *simnet.Model
+	pools     map[string]*pool
+	dnsDone   map[string]time.Duration
+	dnsCost   map[string]time.Duration
+	origins   map[string]bool
+	originRTT map[string]time.Duration
+	done      []time.Duration
+	starts    []time.Duration
+	fetched   []bool
+	attempted []bool
+	failed    []bool
+	tasks     taskHeap
+	state     loadState
+
+	// originKey caches "scheme://host" per object for the current page
+	// model: the study fetches the same model ~10 times, and the two
+	// per-fetch concatenations were the load path's top conv findings.
+	// Keyed by pointer identity; the strong reference keeps the model
+	// alive so a recycled address cannot alias a stale cache.
+	keyModel  *webgen.PageModel
+	originKey []string
+}
+
+// durSlice returns s re-zeroed to length n, growing only when needed.
+func durSlice(s []time.Duration, n int) []time.Duration {
+	if cap(s) < n {
+		return make([]time.Duration, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// boolSlice returns s re-zeroed to length n, growing only when needed.
+func boolSlice(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// originKeys returns the per-object "scheme://host" strings for m,
+// rebuilding the cache only when the model changes.
+func (sc *loadScratch) originKeys(m *webgen.PageModel) []string {
+	if sc.keyModel == m {
+		return sc.originKey
+	}
+	if cap(sc.originKey) < len(m.Objects) {
+		sc.originKey = make([]string, len(m.Objects))
+	}
+	sc.originKey = sc.originKey[:len(m.Objects)]
+	for i, o := range m.Objects {
+		sc.originKey[i] = o.Scheme + "://" + o.Host
+	}
+	sc.keyModel = m
+	return sc.originKey
 }
 
 // New creates a Browser.
@@ -139,28 +213,62 @@ type fetchTask struct {
 	seq     int
 }
 
+// taskHeap is a binary min-heap ordered by (readyAt, seq). The heap
+// operations are implemented directly rather than through
+// container/heap: the interface adapter boxes every fetchTask, and the
+// event loop pushes one per object per load. seq makes the order a
+// strict total order, so the pop sequence is exactly sorted and
+// independent of internal heap layout.
 type taskHeap []fetchTask
 
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
+func (h taskHeap) less(i, j int) bool {
 	if h[i].readyAt != h[j].readyAt {
 		return h[i].readyAt < h[j].readyAt
 	}
 	return h[i].seq < h[j].seq
 }
-func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(fetchTask)) }
-func (h *taskHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	*h = old[:n-1]
+
+func (h *taskHeap) push(t fetchTask) {
+	*h = append(*h, t)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *taskHeap) pop() fetchTask {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	t := s[n]
+	*h = s[:n]
+	for i := 0; ; {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && s.less(r, j) {
+			j = r
+		}
+		if !s.less(j, i) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
 	return t
 }
 
 // Load performs one cold-cache page load of the model. fetchID
 // differentiates repeated fetches of the same page (the paper loads each
 // landing page ten times and uses medians); it seeds the per-load jitter.
+//
+//detlint:hotpath -- the per-site load loop; every study iteration funnels through here
 func (b *Browser) Load(m *webgen.PageModel, fetchID int) (*har.Log, error) {
 	return b.loadAttempt(m, fetchID, 0, 0)
 }
@@ -175,6 +283,8 @@ func (b *Browser) Load(m *webgen.PageModel, fetchID int) (*har.Log, error) {
 // entries recorded up to and including the fatal fetch (the aborted root
 // entry records the phase reached), for forensics. Its page timings are
 // zero and it must not be measured as a successful load.
+//
+//detlint:hotpath -- retrying entry to the per-site load loop
 func (b *Browser) LoadAttempt(m *webgen.PageModel, fetchID, attempt int) (*har.Log, error) {
 	return b.loadAttempt(m, fetchID, attempt, 0)
 }
@@ -185,6 +295,8 @@ func (b *Browser) LoadAttempt(m *webgen.PageModel, fetchID, attempt int) (*har.L
 // in-load completion offsets) when the cache checks freshness. With
 // revisit 0 — or with no cache installed — it is byte-identical to
 // LoadAttempt.
+//
+//detlint:hotpath -- warm-load entry to the per-site load loop
 func (b *Browser) LoadRevisit(m *webgen.PageModel, fetchID, attempt int, revisit time.Duration) (*har.Log, error) {
 	return b.loadAttempt(m, fetchID, attempt, revisit)
 }
@@ -194,7 +306,8 @@ func (b *Browser) loadAttempt(m *webgen.PageModel, fetchID, attempt int, revisit
 		return nil, fmt.Errorf("browser: page model %s has no objects", m.URL)
 	}
 	site := m.Page.Site
-	net := simnet.New(simnet.Config{
+	sc := &b.scratch
+	netCfg := simnet.Config{
 		// revisit folds in so warm loads see different network weather
 		// than their cold counterpart; revisit 0 reproduces the
 		// historical stream exactly.
@@ -204,7 +317,15 @@ func (b *Browser) loadAttempt(m *webgen.PageModel, fetchID, attempt int, revisit
 		InitCwnd:      b.cfg.Net.InitCwnd,
 		JitterFrac:    b.cfg.Net.JitterFrac,
 		Faults:        b.cfg.Net.Faults,
-	})
+	}
+	if sc.net == nil {
+		sc.net = simnet.New(netCfg)
+	} else {
+		// Reset reseeds in place: byte-identical draw streams to a fresh
+		// Model, without re-allocating the generator states.
+		sc.net.Reset(netCfg)
+	}
+	net := sc.net
 	edges := b.cfg.CDNFactory()
 
 	navStart := time.Date(2020, 3, 12, 9, 0, 0, 0, time.UTC).Add(time.Duration(fetchID)*time.Hour + revisit)
@@ -214,22 +335,44 @@ func (b *Browser) loadAttempt(m *webgen.PageModel, fetchID, attempt int, revisit
 		NavigationStart: navStart,
 	}}
 
-	state := &loadState{
+	if sc.pools == nil {
+		sc.pools = make(map[string]*pool, 8)
+		sc.dnsDone = make(map[string]time.Duration, 16)
+		sc.dnsCost = make(map[string]time.Duration, 16)
+		sc.origins = make(map[string]bool, 8)
+		sc.originRTT = make(map[string]time.Duration, 8)
+	} else {
+		clear(sc.pools)
+		clear(sc.dnsDone)
+		clear(sc.dnsCost)
+		clear(sc.origins)
+		clear(sc.originRTT)
+	}
+	n := len(m.Objects)
+	sc.done = durSlice(sc.done, n)
+	sc.starts = durSlice(sc.starts, n)
+	sc.fetched = boolSlice(sc.fetched, n)
+	sc.attempted = boolSlice(sc.attempted, n)
+	sc.failed = boolSlice(sc.failed, n)
+
+	state := &sc.state
+	*state = loadState{
 		b:         b,
 		m:         m,
 		net:       net,
 		edges:     edges,
-		pools:     make(map[string]*pool),
-		dnsDone:   make(map[string]time.Duration),
-		dnsCost:   make(map[string]time.Duration),
-		origins:   make(map[string]bool),
-		originRTT: make(map[string]time.Duration),
-		entries:   make([]har.Entry, len(m.Objects)),
-		done:      make([]time.Duration, len(m.Objects)),
-		starts:    make([]time.Duration, len(m.Objects)),
-		fetched:   make([]bool, len(m.Objects)),
-		attempted: make([]bool, len(m.Objects)),
-		failed:    make([]bool, len(m.Objects)),
+		pools:     sc.pools,
+		dnsDone:   sc.dnsDone,
+		dnsCost:   sc.dnsCost,
+		origins:   sc.origins,
+		originRTT: sc.originRTT,
+		entries:   make([]har.Entry, n), // escapes: the returned log aliases it
+		done:      sc.done,
+		starts:    sc.starts,
+		fetched:   sc.fetched,
+		attempted: sc.attempted,
+		failed:    sc.failed,
+		originKey: sc.originKeys(m),
 		tls13:     site.Profile.TLS13 || b.cfg.Protocol.ForceTLS13,
 		origLoc:   site.Origin,
 		navStart:  navStart,
@@ -237,8 +380,8 @@ func (b *Browser) loadAttempt(m *webgen.PageModel, fetchID, attempt int, revisit
 	}
 	// Pre-compute a representative RTT per origin so hints (preconnect)
 	// pay the true handshake cost of the origin they warm.
-	for _, o := range m.Objects {
-		key := o.Scheme + "://" + o.Host
+	for i, o := range m.Objects {
+		key := state.originKey[i]
 		if _, ok := state.originRTT[key]; !ok {
 			state.originRTT[key] = state.rttFor(o)
 		}
@@ -261,11 +404,12 @@ func (b *Browser) loadAttempt(m *webgen.PageModel, fetchID, attempt int, revisit
 	}
 	discovery := rootDone + b.cfg.ParseDelay
 
-	var tasks taskHeap
+	tasks := &sc.tasks
+	*tasks = (*tasks)[:0]
 	seq := 0
 	push := func(idx int, at time.Duration) {
 		seq++
-		heap.Push(&tasks, fetchTask{idx: idx, readyAt: at, seq: seq})
+		tasks.push(fetchTask{idx: idx, readyAt: at, seq: seq})
 	}
 
 	// Resource hints act right after the document's head arrives:
@@ -301,8 +445,8 @@ func (b *Browser) loadAttempt(m *webgen.PageModel, fetchID, attempt int, revisit
 	// or, with server push, children start as soon as the parent does.
 	// A failed sub-resource is tolerated (real browsers render pages with
 	// dead vendors), but its children are never discovered.
-	for tasks.Len() > 0 {
-		t := heap.Pop(&tasks).(fetchTask)
+	for len(*tasks) > 0 {
+		t := tasks.pop()
 		doneAt, ok := state.fetch(t.idx, t.readyAt)
 		if !ok {
 			continue
@@ -354,8 +498,9 @@ type loadState struct {
 	done      []time.Duration
 	starts    []time.Duration
 	fetched   []bool
-	attempted []bool // a fetch ran (successfully or not) and has an entry
-	failed    []bool // the fetch ran and died; children stay undiscovered
+	attempted []bool   // a fetch ran (successfully or not) and has an entry
+	failed    []bool   // the fetch ran and died; children stay undiscovered
+	originKey []string // per-object "scheme://host", cached on the scratch
 	anyFault  bool
 	tls13     bool
 	origLoc   simnet.Loc
@@ -524,7 +669,7 @@ func (s *loadState) fetch(idx int, readyAt time.Duration) (time.Duration, bool) 
 		}
 	}
 
-	origin := o.Scheme + "://" + o.Host
+	origin := s.originKey[idx]
 	s.origins[origin] = true
 	rtt := s.rttFor(o)
 
@@ -678,7 +823,12 @@ func (s *loadState) fetch(idx int, readyAt time.Duration) (time.Duration, bool) 
 		s.attempted[idx] = true
 		s.cache.freshen(o.URL, s.navStart.Add(doneAt))
 
+		// Stays nil when the entry has no validators, so the marshalled
+		// HAR is byte-identical to the pre-preallocation output.
 		var reqHeaders []har.Header
+		if reval.fresh.ETag != "" || reval.fresh.LastModified != "" {
+			reqHeaders = make([]har.Header, 0, 2)
+		}
 		if reval.fresh.ETag != "" {
 			reqHeaders = append(reqHeaders, har.Header{Name: "If-None-Match", Value: reval.fresh.ETag})
 		}
@@ -741,11 +891,13 @@ func (s *loadState) fetch(idx int, readyAt time.Duration) (time.Duration, bool) 
 	if o.Role == webgen.RoleBeacon && idx%3 == 0 {
 		status = 204
 	}
-	headers := []har.Header{
-		{Name: "Content-Type", Value: o.MIME},
-		{Name: "Server", Value: server},
-		{Name: "Date", Value: s.navStart.Add(start + timings.Send + timings.Wait).UTC().Format(httpTimeFormat)},
-	}
+	// Worst case is 10 headers (3 base + Location + Cache-Control + two
+	// validators + three CDN headers): one allocation instead of append
+	// regrowth. The slice escapes into the entry, so no reuse.
+	headers := make([]har.Header, 3, 10)
+	headers[0] = har.Header{Name: "Content-Type", Value: o.MIME}
+	headers[1] = har.Header{Name: "Server", Value: server}
+	headers[2] = har.Header{Name: "Date", Value: s.navStart.Add(start + timings.Send + timings.Wait).UTC().Format(httpTimeFormat)}
 	if o.Role == webgen.RoleRedirect && idx+1 < len(s.m.Objects) {
 		status = 301
 		headers = append(headers, har.Header{Name: "Location", Value: s.m.Objects[idx+1].URL})

@@ -576,6 +576,8 @@ func (f *streamFold) finish(n int) {
 // moment. The failure budget works exactly as in Run: every site is
 // attempted, and the budget only decides whether an aggregate error is
 // reported alongside the (complete) result.
+//
+//detlint:hotpath -- the streaming study engine; H1M-scale runs live here
 func (st *Study) RunStream(list *hispar.List, cfg StreamConfig) (*StreamResult, error) {
 	cfg = cfg.withDefaults(st.cfg.Workers)
 	n := len(list.Sets)

@@ -41,13 +41,14 @@ var bidMarkers = []string{"track?bid=", "/openrtb2/", "/hbid?", "bid_request"}
 func Detect(log *har.Log) Result {
 	var r Result
 	var firstBid, lastBid time.Time
-	exchanges := make(map[string]bool)
+	// Allocated on the first bid only; most pages never run an auction.
+	var exchanges map[string]bool
 	for i := range log.Entries {
 		e := &log.Entries[i]
 		url := strings.ToLower(e.Request.URL)
 		if r.Wrapper == "" {
 			for _, m := range wrapperMarkers {
-				if strings.Contains(url, m) && strings.HasSuffix(strings.SplitN(url, "?", 2)[0], ".js") {
+				if strings.Contains(url, m) && strings.HasSuffix(pathOf(url), ".js") {
 					r.Wrapper = e.Request.URL
 					break
 				}
@@ -56,6 +57,9 @@ func Detect(log *har.Log) Result {
 		for _, m := range bidMarkers {
 			if strings.Contains(url, m) {
 				r.BidRequests++
+				if exchanges == nil {
+					exchanges = make(map[string]bool, 4)
+				}
 				exchanges[hostOf(url)] = true
 				if firstBid.IsZero() || e.StartedAt.Before(firstBid) {
 					firstBid = e.StartedAt
@@ -77,6 +81,14 @@ func Detect(log *har.Log) Result {
 	// Active HB needs auction traffic plus the machinery that started it.
 	r.Active = r.BidRequests >= 2 && r.Wrapper != ""
 	return r
+}
+
+// pathOf strips the query string without allocating a split slice.
+func pathOf(url string) string {
+	if q := strings.IndexByte(url, '?'); q >= 0 {
+		return url[:q]
+	}
+	return url
 }
 
 func hostOf(raw string) string {

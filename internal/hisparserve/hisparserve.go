@@ -456,6 +456,7 @@ type indexDoc struct {
 	Endpoints   []string `json:"endpoints"`
 }
 
+//detlint:hotpath -- request-serving /v1 handler
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	s.serveCached(w, r, "lists", true, func() (*payload, error) {
 		doc := indexDoc{
@@ -482,6 +483,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 // handleJobs reports every keyed build's state — the observability view
 // over the on-demand job machinery. Never cached: it *is* the cache's
 // dashboard.
+//
+//detlint:hotpath -- request-serving /v1 handler
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	type jobs struct {
 		Payloads  []buildInfo `json:"payloads"`
@@ -502,6 +505,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(append(body, '\n'))
 }
 
+//detlint:hotpath -- request-serving /v1 handler
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	week, ok := s.week(r.PathValue("week"))
 	if !ok {
@@ -547,6 +551,7 @@ type siteDoc struct {
 	Internal []string `json:"internal"`
 }
 
+//detlint:hotpath -- request-serving /v1 handler
 func (s *Server) handleSite(w http.ResponseWriter, r *http.Request) {
 	week, ok := s.week(r.PathValue("week"))
 	if !ok {
@@ -590,6 +595,7 @@ type churnDoc struct {
 	InternalChurn float64 `json:"internal_churn"`
 }
 
+//detlint:hotpath -- request-serving /v1 handler
 func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 	a, okA := s.week(r.PathValue("a"))
 	b, okB := s.week(r.PathValue("b"))
@@ -625,6 +631,7 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+//detlint:hotpath -- request-serving /v1 handler
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	week, ok := s.week(r.PathValue("week"))
 	if !ok {

@@ -1,0 +1,101 @@
+package lint
+
+// The three allocflow-driven checks. All of them intersect the
+// per-function allocation sites with hot-path reachability from
+// //detlint:hotpath entry points, so a package with no hot entries in
+// its reachable call graph produces no findings — the checks are about
+// churn where it costs, not allocation in general.
+//
+//   - allocloop: an allocation that escapes its frame, sitting inside a
+//     loop (or in a function only reached from inside a hot caller's
+//     loop). Each iteration pays a fresh heap object.
+//   - boxing: a concrete value boxed into an interface parameter on a
+//     hot path. The conversion allocates; pointer-shaped values and
+//     small constants don't and are not flagged.
+//   - retain: append/map growth whose target outlives the enclosing
+//     loop and escapes — the container accumulates across iterations,
+//     so growth reallocation churn compounds with input size.
+//
+// Suppression: //detlint:allow allocloop|boxing|retain, as usual.
+
+// AllocloopCheck flags escaping allocations in hot loops.
+var AllocloopCheck = &Check{
+	Name: "allocloop",
+	Doc:  "flag escaping allocations inside loops on hot paths (reachable from //detlint:hotpath entry points)",
+	Run:  runAllocloop,
+}
+
+// BoxingCheck flags avoidable interface boxing on hot paths.
+var BoxingCheck = &Check{
+	Name: "boxing",
+	Doc:  "flag concrete values boxed into interface arguments on hot paths; pointer-shaped values and small constants are exempt",
+	Run:  runBoxing,
+}
+
+// RetainCheck flags growth retained across hot loop iterations.
+var RetainCheck = &Check{
+	Name: "retain",
+	Doc:  "flag append/map growth whose escaping target outlives the enclosing loop on a hot path",
+	Run:  runRetain,
+}
+
+func runAllocloop(p *Pass) {
+	forHotSites(p, func(st *allocState, n *FuncNode, s AllocSite) {
+		switch s.Kind {
+		case AllocBox:
+			return // boxing's territory
+		case AllocAppend, AllocMapWrite:
+			if s.Retained {
+				return // retain's territory
+			}
+		}
+		if s.Escape < EscCaptured {
+			return // frame-local or plain argument: cheap or unprovable
+		}
+		if !s.InLoop && !st.hotLoop[n] {
+			return
+		}
+		p.Reportf(s.Pos, "%s escapes (%s) in a hot loop; hot path: %s",
+			s.Desc, s.Escape, st.hotChain(n))
+	})
+}
+
+func runBoxing(p *Pass) {
+	forHotSites(p, func(st *allocState, n *FuncNode, s AllocSite) {
+		if s.Kind != AllocBox {
+			return
+		}
+		if !s.InLoop && !st.hotLoop[n] {
+			return
+		}
+		p.Reportf(s.Pos, "%s allocates in a hot loop; hot path: %s",
+			s.Desc, st.hotChain(n))
+	})
+}
+
+func runRetain(p *Pass) {
+	forHotSites(p, func(st *allocState, n *FuncNode, s AllocSite) {
+		if !s.Retained {
+			return
+		}
+		p.Reportf(s.Pos, "%s retained across loop iterations (target escapes: %s); hot path: %s",
+			s.Desc, s.Escape, st.hotChain(n))
+	})
+}
+
+// forHotSites invokes fn for every allocation site in a hot-reachable
+// function of the pass's package, in graph order.
+func forHotSites(p *Pass, fn func(*allocState, *FuncNode, AllocSite)) {
+	st := p.Graph.allocState()
+	for _, n := range p.Graph.sorted {
+		if n.Pkg != p.Pkg {
+			continue
+		}
+		if _, hot := st.hotDist[n]; !hot {
+			continue
+		}
+		for _, s := range st.sites[n] {
+			fn(st, n, s)
+		}
+	}
+}

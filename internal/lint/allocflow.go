@@ -1,0 +1,945 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the allocflow layer: an intraprocedural escape/allocation
+// dataflow analysis driven through the module call graph. Per function it
+// classifies allocation sites — composite literals, new/make, append
+// growth, interface boxing at call boundaries, closure captures,
+// string/[]byte conversions, map inserts — and decides whether each site
+// escapes via a conservative value-flow lattice:
+//
+//	none < arg < captured < heap < returned
+//
+// A site "escapes" when its value is returned, stored into heap memory
+// (a field, slice/map element, dereference, package-level variable, or
+// channel), captured by a function literal, or passed to a call whose
+// parameter may retain it. The lattice is intentionally one-sided: it
+// over-approximates (an arg passed to a pure function is still "arg")
+// and never under-approximates within its intraprocedural scope. The
+// soundness caveats mirror the call graph's and are documented in
+// DESIGN.md.
+//
+// Hot-path intersection: functions carrying a //detlint:hotpath
+// directive in their doc comment are entry points (browser.Load,
+// core.Study.RunStream, the hisparserve handlers). Forward reachability
+// over the call graph assigns every reachable function a distance and a
+// rendered chain from its nearest entry point; a second fixpoint marks
+// functions reached through a call site that sits inside a loop
+// ("hot-loop context"), so an allocation in a straight-line helper called
+// from a loop ranks like an allocation in the loop itself.
+
+// hotpathDirective marks a function as a hot entry point when it appears
+// in the function's doc comment.
+const hotpathDirective = "detlint:hotpath"
+
+// AllocKind classifies an allocation site.
+type AllocKind string
+
+// Allocation site kinds.
+const (
+	AllocMake      AllocKind = "make"      // make(slice/map/chan)
+	AllocNew       AllocKind = "new"       // new(T)
+	AllocComposite AllocKind = "composite" // composite literal (outermost)
+	AllocAppend    AllocKind = "append"    // append growth
+	AllocBox       AllocKind = "box"       // interface boxing at a call boundary
+	AllocConv      AllocKind = "conv"      // string <-> []byte/[]rune conversion
+	AllocClosure   AllocKind = "closure"   // func literal capturing variables
+	AllocMapWrite  AllocKind = "mapwrite"  // map insert (table growth)
+)
+
+// EscapeClass is the value-flow lattice. Order is by strength of the
+// escape claim; joins take the maximum.
+type EscapeClass int
+
+// Escape classes, weakest to strongest.
+const (
+	EscNone     EscapeClass = iota // stays within the frame
+	EscArg                         // passed to a call that may retain it
+	EscCaptured                    // captured by a function literal
+	EscHeap                        // stored into heap memory
+	EscReturned                    // returned to the caller
+)
+
+// String names the escape class for diagnostics.
+func (e EscapeClass) String() string {
+	switch e {
+	case EscArg:
+		return "arg"
+	case EscCaptured:
+		return "captured"
+	case EscHeap:
+		return "heap"
+	case EscReturned:
+		return "returned"
+	default:
+		return "none"
+	}
+}
+
+// AllocSite is one classified allocation site inside a function.
+type AllocSite struct {
+	Kind   AllocKind
+	Pos    token.Pos
+	Desc   string
+	InLoop bool // lexically inside a for/range statement
+	Escape EscapeClass
+	// Retained marks append/map growth whose target is declared outside
+	// the enclosing loop and escapes: the growth accumulates across
+	// iterations instead of dying with one.
+	Retained bool
+}
+
+type posRange struct{ from, to token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.from && p <= r.to }
+
+func posInRanges(p token.Pos, rs []posRange) bool {
+	for _, r := range rs {
+		if r.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// allocState is the module-wide allocflow result, computed once per
+// graph and shared by the allocloop/boxing/retain checks and the
+// hot-path report.
+type allocState struct {
+	sites   map[*FuncNode][]AllocSite
+	loops   map[*FuncNode][]posRange
+	entries []*FuncNode // hotpath-directive functions, sorted by ID
+
+	hotDist map[*FuncNode]int       // shortest distance from any entry
+	hotPrev map[*FuncNode]*FuncNode // deterministic predecessor toward the entry
+	hotLoop map[*FuncNode]bool      // reached through a call site inside a loop
+}
+
+// allocState computes (once) the allocation sites, hot-path
+// reachability, and loop-context facts for the whole module. Every sweep
+// iterates g.sorted, so the result is a pure function of the graph.
+func (g *Graph) allocState() *allocState {
+	if g.allocs != nil {
+		return g.allocs
+	}
+	st := &allocState{
+		sites:   make(map[*FuncNode][]AllocSite),
+		loops:   make(map[*FuncNode][]posRange),
+		hotDist: make(map[*FuncNode]int),
+		hotPrev: make(map[*FuncNode]*FuncNode),
+		hotLoop: make(map[*FuncNode]bool),
+	}
+	for _, n := range g.sorted {
+		fa := newFuncAnalysis(n)
+		st.sites[n] = fa.scan()
+		st.loops[n] = fa.loops
+		if isHotEntry(n) {
+			st.entries = append(st.entries, n)
+			st.hotDist[n] = 0
+		}
+	}
+
+	// Forward reachability from the entries, with deterministic
+	// predecessor selection: candidates are ranked by (distance,
+	// caller ID). Loop context propagates in the same fixpoint — a
+	// callee is in hot-loop context when any hot caller reaches it from
+	// inside a loop or is itself in loop context.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.sorted {
+			d, hot := st.hotDist[n]
+			if !hot {
+				continue
+			}
+			for _, cs := range n.Calls {
+				callee := cs.Callee
+				nd := d + 1
+				cur, ok := st.hotDist[callee]
+				if !ok || nd < cur || (nd == cur && st.hotPrev[callee] != nil && n.ID < st.hotPrev[callee].ID) {
+					if cur != 0 || !ok { // never displace an entry's distance 0
+						st.hotDist[callee] = nd
+						st.hotPrev[callee] = n
+						changed = true
+					}
+				}
+				if (st.hotLoop[n] || posInRanges(cs.Pos, st.loops[n])) && !st.hotLoop[callee] {
+					st.hotLoop[callee] = true
+					changed = true
+				}
+			}
+		}
+	}
+	g.allocs = st
+	return st
+}
+
+// isHotEntry reports whether the function's doc comment carries the
+// //detlint:hotpath directive.
+func isHotEntry(n *FuncNode) bool {
+	if n.Decl.Doc == nil {
+		return false
+	}
+	for _, c := range n.Decl.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotChain renders the call path from the nearest entry point down to n,
+// as "entry → a → n". Long chains elide the middle.
+func (st *allocState) hotChain(n *FuncNode) string {
+	var names []string
+	for cur := n; cur != nil; cur = st.hotPrev[cur] {
+		names = append(names, cur.Name())
+		if st.hotDist[cur] == 0 {
+			break
+		}
+	}
+	// Reverse into entry-first order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	if len(names) > 6 {
+		names = append(append(names[:3:3], "…"), names[len(names)-2:]...)
+	}
+	return strings.Join(names, " → ")
+}
+
+// funcAnalysis is the per-function scaffolding shared by the site scan
+// and the escape lattice: parent links, loop extents, function-literal
+// extents, and the per-variable escape facts.
+type funcAnalysis struct {
+	n       *FuncNode
+	info    *types.Info
+	parents map[ast.Node]ast.Node
+	loops   []posRange
+	lits    []*ast.FuncLit
+	esc     map[*types.Var]EscapeClass
+	flows   map[*types.Var][]*types.Var // v -> vars v's value flows into
+}
+
+func newFuncAnalysis(n *FuncNode) *funcAnalysis {
+	fa := &funcAnalysis{
+		n:       n,
+		info:    n.Pkg.Info,
+		parents: make(map[ast.Node]ast.Node),
+		esc:     make(map[*types.Var]EscapeClass),
+		flows:   make(map[*types.Var][]*types.Var),
+	}
+	var stack []ast.Node
+	ast.Inspect(n.Decl, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			fa.parents[node] = stack[len(stack)-1]
+		}
+		stack = append(stack, node)
+		switch s := node.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			fa.loops = append(fa.loops, posRange{node.Pos(), node.End()})
+		case *ast.FuncLit:
+			fa.lits = append(fa.lits, s)
+		}
+		return true
+	})
+	fa.buildEscapes()
+	return fa
+}
+
+// local reports whether a variable is declared inside this function
+// (parameters and receivers included).
+func (fa *funcAnalysis) local(v *types.Var) bool {
+	return v != nil && v.Pos() >= fa.n.Decl.Pos() && v.Pos() <= fa.n.Decl.End()
+}
+
+// enclosingLit returns the innermost function literal containing pos,
+// or nil.
+func (fa *funcAnalysis) enclosingLit(pos token.Pos) *ast.FuncLit {
+	var best *ast.FuncLit
+	for _, lit := range fa.lits {
+		if pos >= lit.Pos() && pos <= lit.End() {
+			if best == nil || lit.Pos() > best.Pos() {
+				best = lit
+			}
+		}
+	}
+	return best
+}
+
+// buildEscapes seeds per-variable escape facts from every identifier use
+// and propagates them along value-flow edges to a fixpoint.
+func (fa *funcAnalysis) buildEscapes() {
+	ast.Inspect(fa.n.Decl, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := fa.info.Uses[id].(*types.Var)
+		if !ok || !fa.local(v) {
+			return true
+		}
+		// Capture: a use inside a literal of a variable declared outside it.
+		if lit := fa.enclosingLit(id.Pos()); lit != nil && v.Pos() < lit.Pos() {
+			fa.seed(v, EscCaptured)
+		}
+		cls, bound := fa.escContext(id)
+		if bound != nil && bound != v {
+			fa.flows[v] = append(fa.flows[v], bound)
+		} else if cls > EscNone {
+			fa.seed(v, cls)
+		}
+		return true
+	})
+
+	// Fixpoint over the flow edges: a variable is at least as escaped as
+	// anything its value flows into. Vars iterate in declaration order.
+	vars := make([]*types.Var, 0, len(fa.flows))
+	for v := range fa.flows {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+	for changed := true; changed; {
+		changed = false
+		for _, v := range vars {
+			for _, w := range fa.flows[v] {
+				if fa.esc[w] > fa.esc[v] {
+					fa.esc[v] = fa.esc[w]
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (fa *funcAnalysis) seed(v *types.Var, cls EscapeClass) {
+	if cls > fa.esc[v] {
+		fa.esc[v] = cls
+	}
+}
+
+// builtinName returns the name of the builtin a call expression invokes,
+// or "".
+func builtinName(info *types.Info, fun ast.Expr) string {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// escContext walks up from an expression to the statement consuming it
+// and classifies how the value escapes there. When the value is bound to
+// a local variable instead, it returns (EscNone, var) and the caller
+// follows the variable's own escape fact.
+func (fa *funcAnalysis) escContext(e ast.Expr) (EscapeClass, *types.Var) {
+	var cur ast.Node = e
+	for {
+		p := fa.parents[cur]
+		if p == nil {
+			return EscNone, nil
+		}
+		switch pp := p.(type) {
+		case *ast.ParenExpr, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SliceExpr, *ast.TypeAssertExpr:
+			cur = p
+		case *ast.UnaryExpr:
+			if pp.Op == token.AND {
+				cur = p
+				continue
+			}
+			return EscNone, nil
+		case *ast.CallExpr:
+			if pp.Fun == cur {
+				return EscNone, nil
+			}
+			if tv, ok := fa.info.Types[pp.Fun]; ok && tv.IsType() {
+				cur = p // conversion wraps the value; keep walking
+				continue
+			}
+			switch builtinName(fa.info, pp.Fun) {
+			case "len", "cap", "delete", "clear", "copy", "print", "println", "min", "max":
+				return EscNone, nil
+			case "append":
+				cur = p // appended values flow into append's result
+				continue
+			}
+			return EscArg, nil
+		case *ast.ReturnStmt:
+			return EscReturned, nil
+		case *ast.SendStmt:
+			if pp.Value == cur {
+				return EscHeap, nil
+			}
+			return EscNone, nil
+		case *ast.AssignStmt:
+			for i, r := range pp.Rhs {
+				if r != cur {
+					continue
+				}
+				if len(pp.Lhs) != len(pp.Rhs) {
+					return EscHeap, nil
+				}
+				return fa.lhsTarget(pp.Lhs[i])
+			}
+			return EscNone, nil // cur sits on the Lhs: a write target, not a value use
+		case *ast.ValueSpec:
+			for i, r := range pp.Values {
+				if r != cur {
+					continue
+				}
+				if len(pp.Names) == len(pp.Values) {
+					if v, ok := fa.info.Defs[pp.Names[i]].(*types.Var); ok {
+						return EscNone, v
+					}
+				}
+				return EscHeap, nil
+			}
+			return EscNone, nil
+		case *ast.GoStmt, *ast.DeferStmt:
+			return EscArg, nil
+		case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr, *ast.BinaryExpr,
+			*ast.ExprStmt, *ast.IncDecStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.CaseClause, *ast.BlockStmt,
+			*ast.FuncLit, *ast.FuncDecl, *ast.LabeledStmt:
+			return EscNone, nil
+		default:
+			// Unknown consumer: over-approximate.
+			return EscHeap, nil
+		}
+	}
+}
+
+// lhsTarget classifies an assignment destination: a local variable binds
+// the value (returning the var), everything else — package-level vars,
+// fields, elements, dereferences — is a heap store.
+func (fa *funcAnalysis) lhsTarget(lhs ast.Expr) (EscapeClass, *types.Var) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return EscNone, nil
+		}
+		obj := fa.info.Defs[l]
+		if obj == nil {
+			obj = fa.info.Uses[l]
+		}
+		if v, ok := obj.(*types.Var); ok && fa.local(v) {
+			return EscNone, v
+		}
+		return EscHeap, nil
+	default:
+		return EscHeap, nil
+	}
+}
+
+// escapeOf resolves an allocation expression's final escape class: its
+// immediate context, or — when bound to a local — the variable's fact
+// from the fixpoint.
+func (fa *funcAnalysis) escapeOf(e ast.Expr) EscapeClass {
+	cls, bound := fa.escContext(e)
+	if bound != nil {
+		if v := fa.esc[bound]; v > cls {
+			cls = v
+		}
+	}
+	return cls
+}
+
+// typeDesc renders a type with base package qualifiers, mapping any
+// empty interface spelling to "interface{}" so descriptions are stable
+// across alias representations.
+func typeDesc(t types.Type) string {
+	if iface, ok := t.Underlying().(*types.Interface); ok && iface.Empty() {
+		return "interface{}"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// exprDesc renders a source expression compactly for site descriptions.
+func exprDesc(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return s
+}
+
+// scan walks the function body and classifies every allocation site.
+func (fa *funcAnalysis) scan() []AllocSite {
+	var sites []AllocSite
+	add := func(kind AllocKind, pos token.Pos, desc string, esc EscapeClass, retained bool) {
+		sites = append(sites, AllocSite{
+			Kind:     kind,
+			Pos:      pos,
+			Desc:     desc,
+			InLoop:   posInRanges(pos, fa.loops),
+			Escape:   esc,
+			Retained: retained,
+		})
+	}
+	info := fa.info
+	ast.Inspect(fa.n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			if tv, ok := info.Types[fun]; ok && tv.IsType() {
+				if desc, ok := convDesc(info, x); ok {
+					add(AllocConv, x.Pos(), desc, fa.escapeOf(x), false)
+				}
+				return true
+			}
+			switch builtinName(info, fun) {
+			case "make":
+				add(AllocMake, x.Pos(), "make("+exprDesc(x.Args[0])+")", fa.escapeOf(x), false)
+			case "new":
+				add(AllocNew, x.Pos(), "new("+exprDesc(x.Args[0])+")", fa.escapeOf(x), false)
+			case "append":
+				esc, retained := fa.growthTarget(x.Args[0], x.Pos())
+				add(AllocAppend, x.Pos(), "append to "+exprDesc(x.Args[0]), esc, retained)
+			case "":
+				fa.boxingSites(x, add)
+			}
+		case *ast.CompositeLit:
+			if fa.insideComposite(x) {
+				return true
+			}
+			desc := "composite literal"
+			if tv, ok := info.Types[x]; ok && tv.Type != nil {
+				desc = "composite literal " + typeDesc(tv.Type)
+			}
+			add(AllocComposite, x.Pos(), desc, fa.escapeOf(x), false)
+		case *ast.FuncLit:
+			if k := fa.captureCount(x); k > 0 {
+				add(AllocClosure, x.Pos(), "func literal capturing "+strconv.Itoa(k)+" variable(s)", fa.escapeOf(x), false)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				fa.mapWrite(lhs, x.Pos(), add)
+			}
+		case *ast.IncDecStmt:
+			fa.mapWrite(x.X, x.Pos(), add)
+		}
+		return true
+	})
+	return sites
+}
+
+// insideComposite reports whether a literal is an element of an
+// enclosing composite literal (counted once at the outermost level).
+func (fa *funcAnalysis) insideComposite(x *ast.CompositeLit) bool {
+	for cur := fa.parents[x]; cur != nil; cur = fa.parents[cur] {
+		switch cur.(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.KeyValueExpr, *ast.UnaryExpr, *ast.ParenExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// mapWrite records a map-insert site when the write target is a map
+// index expression.
+func (fa *funcAnalysis) mapWrite(lhs ast.Expr, pos token.Pos, add func(AllocKind, token.Pos, string, EscapeClass, bool)) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	tv, ok := fa.info.Types[ix.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	esc, retained := fa.growthTarget(ix.X, pos)
+	add(AllocMapWrite, pos, "map write to "+exprDesc(ix.X), esc, retained)
+}
+
+// growthTarget classifies the container a growth site (append or map
+// insert) feeds: its escape class, and whether the growth is retained
+// across iterations of an enclosing loop — the target is declared
+// outside the loop (or lives on the heap outright) and escapes.
+func (fa *funcAnalysis) growthTarget(target ast.Expr, sitePos token.Pos) (EscapeClass, bool) {
+	inLoop := posInRanges(sitePos, fa.loops)
+	if id, ok := ast.Unparen(target).(*ast.Ident); ok {
+		obj := fa.info.Uses[id]
+		if obj == nil {
+			obj = fa.info.Defs[id]
+		}
+		if v, ok := obj.(*types.Var); ok && fa.local(v) {
+			esc := fa.esc[v]
+			if !inLoop || esc == EscNone {
+				return esc, false
+			}
+			for _, l := range fa.loops {
+				if l.contains(sitePos) && v.Pos() < l.from {
+					return esc, true
+				}
+			}
+			return esc, false
+		}
+		// Package-level variable: heap-resident, always outlives the loop.
+		return EscHeap, inLoop
+	}
+	// Field, element, or dereference target: heap-resident.
+	return EscHeap, inLoop
+}
+
+// captureCount counts distinct outer local variables a function literal
+// captures.
+func (fa *funcAnalysis) captureCount(lit *ast.FuncLit) int {
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := fa.info.Uses[id].(*types.Var); ok && fa.local(v) && v.Pos() < lit.Pos() {
+			seen[v] = true
+		}
+		return true
+	})
+	return len(seen)
+}
+
+// convDesc describes an allocating string conversion, or ok=false when
+// the conversion does not allocate a copy.
+func convDesc(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	dst, ok := info.Types[call]
+	if !ok || dst.Type == nil {
+		return "", false
+	}
+	src, ok := info.Types[call.Args[0]]
+	if !ok || src.Type == nil {
+		return "", false
+	}
+	d, s := dst.Type.Underlying(), src.Type.Underlying()
+	if isString(d) && isByteOrRuneSlice(s) {
+		return "string(" + exprDesc(call.Args[0]) + ") conversion", true
+	}
+	if isByteOrRuneSlice(d) && isString(s) {
+		return typeDesc(dst.Type) + "(" + exprDesc(call.Args[0]) + ") conversion", true
+	}
+	return "", false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// boxingSites reports arguments boxed into interface parameters at a
+// call boundary: a concrete non-pointer-shaped value converted to an
+// interface allocates. Small constant integers (the runtime serves them
+// from a static table) and nils are skipped.
+func (fa *funcAnalysis) boxingSites(call *ast.CallExpr, add func(AllocKind, token.Pos, string, EscapeClass, bool)) {
+	tvFun, ok := fa.info.Types[call.Fun]
+	if !ok || tvFun.Type == nil {
+		return
+	}
+	sig, ok := tvFun.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // the slice passes through as-is
+			}
+			sl, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := fa.info.Types[arg]
+		if !ok || at.Type == nil || at.IsNil() {
+			continue
+		}
+		if !boxAllocates(at) {
+			continue
+		}
+		desc := typeDesc(at.Type) + " boxed into " + typeDesc(pt) + " argument of " + exprDesc(call.Fun)
+		add(AllocBox, arg.Pos(), desc, EscArg, false)
+	}
+}
+
+// boxAllocates reports whether converting the value to an interface
+// allocates: pointer-shaped types and interfaces store directly, and
+// small constant integers come from the runtime's static table.
+func boxAllocates(tv types.TypeAndValue) bool {
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		if tv.Type.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	if tv.Value != nil {
+		if v, ok := smallIntConst(tv); ok && v >= 0 && v < 256 {
+			return false
+		}
+	}
+	return true
+}
+
+func smallIntConst(tv types.TypeAndValue) (int64, bool) {
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return 0, false
+	}
+	s := tv.Value.ExactString()
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path allocation report (cmd/detlint -hotpaths)
+
+// HotReport is the ranked hot-path allocation report: every allocation
+// site in functions reachable from a //detlint:hotpath entry point,
+// grouped per function with the rendered call chain from its nearest
+// entry. Ordering is deterministic (score desc, then function ID), and
+// each site carries a motion-tolerant fingerprint so reports diff
+// cleanly across code versions.
+type HotReport struct {
+	Entries    []string  `json:"entries"`
+	Functions  []HotFunc `json:"functions"`
+	TotalSites int       `json:"total_sites"`
+}
+
+// HotFunc is one hot function's allocation profile.
+type HotFunc struct {
+	Func    string    `json:"func"`
+	File    string    `json:"file"`
+	Dist    int       `json:"dist"`
+	Entry   string    `json:"entry"`
+	Chain   string    `json:"chain"`
+	HotLoop bool      `json:"hot_loop"`
+	Score   int       `json:"score"`
+	Sites   []HotSite `json:"sites"`
+}
+
+// HotSite is one allocation site in the report.
+type HotSite struct {
+	Kind        string `json:"kind"`
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Desc        string `json:"desc"`
+	Escape      string `json:"escape"`
+	InLoop      bool   `json:"in_loop"`
+	Retained    bool   `json:"retained,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// siteWeight ranks a site's likely contribution to hot-path churn.
+func siteWeight(s AllocSite, hotLoop bool) int {
+	w := 1
+	if s.InLoop {
+		w += 3
+	} else if hotLoop {
+		w += 2
+	}
+	if s.Retained {
+		w += 2
+	}
+	if s.Escape >= EscHeap {
+		w++
+	}
+	return w
+}
+
+// HotpathReport builds the hot-path allocation report over the loaded
+// packages. File paths are absolute; callers relativize for output.
+func HotpathReport(pkgs []*Package) *HotReport {
+	g := BuildGraph(pkgs)
+	st := g.allocState()
+	rep := &HotReport{Entries: []string{}, Functions: []HotFunc{}}
+	for _, e := range st.entries {
+		rep.Entries = append(rep.Entries, e.Name())
+	}
+	for _, n := range g.sorted {
+		dist, hot := st.hotDist[n]
+		if !hot {
+			continue
+		}
+		sites := st.sites[n]
+		if len(sites) == 0 {
+			continue
+		}
+		chain := st.hotChain(n)
+		entry := chain
+		if i := strings.Index(chain, " → "); i >= 0 {
+			entry = chain[:i]
+		}
+		pos := n.Pkg.Fset.Position(n.Decl.Pos())
+		hf := HotFunc{
+			Func:    n.Name(),
+			File:    pos.Filename,
+			Dist:    dist,
+			Entry:   entry,
+			Chain:   chain,
+			HotLoop: st.hotLoop[n],
+		}
+		for _, s := range sites {
+			sp := n.Pkg.Fset.Position(s.Pos)
+			hf.Score += siteWeight(s, st.hotLoop[n])
+			hf.Sites = append(hf.Sites, HotSite{
+				Kind:        string(s.Kind),
+				File:        sp.Filename,
+				Line:        sp.Line,
+				Desc:        s.Desc,
+				Escape:      s.Escape.String(),
+				InLoop:      s.InLoop,
+				Retained:    s.Retained,
+				Fingerprint: string(s.Kind) + "\x1f" + n.ID + "\x1f" + s.Desc,
+			})
+		}
+		rep.TotalSites += len(hf.Sites)
+		rep.Functions = append(rep.Functions, hf)
+	}
+	sort.SliceStable(rep.Functions, func(i, j int) bool {
+		a, b := rep.Functions[i], rep.Functions[j]
+		if a.Entry != b.Entry {
+			return a.Entry < b.Entry
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Func < b.Func
+	})
+	return rep
+}
+
+// Relativize rewrites the report's absolute file paths relative to the
+// module root, mirroring Relativize for diagnostics.
+func (r *HotReport) Relativize(root string) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return
+	}
+	for i := range r.Functions {
+		r.Functions[i].File = relPath(r.Functions[i].File, abs)
+		for j := range r.Functions[i].Sites {
+			r.Functions[i].Sites[j].File = relPath(r.Functions[i].Sites[j].File, abs)
+		}
+	}
+}
+
+// Diagnostics converts the report's sites into plain diagnostics (check
+// name "hotalloc") so the SARIF renderer can carry the report.
+func (r *HotReport) Diagnostics() []Diagnostic {
+	var out []Diagnostic
+	for _, f := range r.Functions {
+		for _, s := range f.Sites {
+			out = append(out, Diagnostic{
+				Check:   "hotalloc",
+				File:    s.File,
+				Line:    s.Line,
+				Col:     1,
+				Message: s.Desc + " (escape: " + s.Escape + "; via " + f.Chain + ")",
+			})
+		}
+	}
+	return out
+}
+
+// WriteText renders the report for humans: entry points, then each hot
+// function ranked by score with its chain and sites.
+func (r *HotReport) WriteText(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("hot-path allocation report: ")
+	sb.WriteString(strconv.Itoa(len(r.Entries)))
+	sb.WriteString(" entry point(s), ")
+	sb.WriteString(strconv.Itoa(len(r.Functions)))
+	sb.WriteString(" hot function(s), ")
+	sb.WriteString(strconv.Itoa(r.TotalSites))
+	sb.WriteString(" allocation site(s)\n")
+	for _, e := range r.Entries {
+		sb.WriteString("entry: ")
+		sb.WriteString(e)
+		sb.WriteByte('\n')
+	}
+	for i := range r.Functions {
+		f := &r.Functions[i]
+		sb.WriteByte('\n')
+		sb.WriteString(f.Func)
+		sb.WriteString("  score=")
+		sb.WriteString(strconv.Itoa(f.Score))
+		sb.WriteString(" dist=")
+		sb.WriteString(strconv.Itoa(f.Dist))
+		if f.HotLoop {
+			sb.WriteString(" hot-loop")
+		}
+		sb.WriteByte('\n')
+		sb.WriteString("  via: ")
+		sb.WriteString(f.Chain)
+		sb.WriteByte('\n')
+		for _, s := range f.Sites {
+			sb.WriteString("  ")
+			sb.WriteString(s.File)
+			sb.WriteByte(':')
+			sb.WriteString(strconv.Itoa(s.Line))
+			sb.WriteString(" [")
+			sb.WriteString(s.Kind)
+			sb.WriteString("] ")
+			sb.WriteString(s.Desc)
+			sb.WriteString(" escape=")
+			sb.WriteString(s.Escape)
+			if s.InLoop {
+				sb.WriteString(" in-loop")
+			}
+			if s.Retained {
+				sb.WriteString(" retained")
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

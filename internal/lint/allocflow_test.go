@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/importer"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadAllocFixtures(t *testing.T) []*Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, dir := range []string{"allocloop", "boxing", "retain"} {
+		pkgs = append(pkgs, loadTestPkg(t, fset, std,
+			filepath.Join("testdata", "src", dir), "repro/internal/"+dir))
+	}
+	return pkgs
+}
+
+// TestHotpathReport checks the report's structure over the allocflow
+// fixtures: entry points are listed, cold functions are absent, chains
+// start at their entry, and in-loop sites outrank straight-line ones.
+func TestHotpathReport(t *testing.T) {
+	rep := HotpathReport(loadAllocFixtures(t))
+
+	wantEntries := map[string]bool{
+		"allocloop.Entry": true, "allocloop.suppressed": true, "allocloop.frameLocal": true,
+		"boxing.Entry": true,
+		"retain.Entry": true, "retain.perIteration": true,
+	}
+	if len(rep.Entries) != len(wantEntries) {
+		t.Errorf("entries = %v, want the %d hotpath-annotated functions", rep.Entries, len(wantEntries))
+	}
+	for _, e := range rep.Entries {
+		if !wantEntries[e] {
+			t.Errorf("unexpected entry point %q", e)
+		}
+	}
+
+	byFunc := make(map[string]HotFunc)
+	for _, f := range rep.Functions {
+		byFunc[f.Func] = f
+		if !strings.HasPrefix(f.Chain, f.Entry) {
+			t.Errorf("%s: chain %q does not start at entry %q", f.Func, f.Chain, f.Entry)
+		}
+	}
+	for _, cold := range []string{"allocloop.cold", "boxing.coldFormat"} {
+		if _, ok := byFunc[cold]; ok {
+			t.Errorf("%s is not hot-reachable but appears in the report", cold)
+		}
+	}
+	build, ok := byFunc["allocloop.build"]
+	if !ok {
+		t.Fatal("allocloop.build missing from report")
+	}
+	if build.Dist != 1 || build.Entry != "allocloop.Entry" || !build.HotLoop {
+		t.Errorf("allocloop.build = dist %d entry %q hotLoop %v, want 1/allocloop.Entry/true",
+			build.Dist, build.Entry, build.HotLoop)
+	}
+	if len(build.Sites) != 2 {
+		t.Fatalf("allocloop.build sites = %d, want 2 (make + composite)", len(build.Sites))
+	}
+	for _, s := range build.Sites {
+		if s.Escape != "returned" {
+			t.Errorf("allocloop.build site %q escape = %q, want returned", s.Desc, s.Escape)
+		}
+	}
+}
+
+// TestHotpathReportDeterminism renders the report twice from fresh
+// loads: JSON-visible content must be byte-identical.
+func TestHotpathReportDeterminism(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		if err := HotpathReport(loadAllocFixtures(t)).WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("empty report; determinism comparison is vacuous")
+	}
+	if again := render(); again != first {
+		t.Errorf("report diverged across runs:\n--- first ---\n%s--- second ---\n%s", first, again)
+	}
+}
+
+// TestEscapeLattice pins the per-class ordering and names the checks
+// and report rely on.
+func TestEscapeLattice(t *testing.T) {
+	order := []EscapeClass{EscNone, EscArg, EscCaptured, EscHeap, EscReturned}
+	names := []string{"none", "arg", "captured", "heap", "returned"}
+	for i, c := range order {
+		if c.String() != names[i] {
+			t.Errorf("class %d String() = %q, want %q", i, c.String(), names[i])
+		}
+		if i > 0 && order[i-1] >= c {
+			t.Errorf("lattice order violated: %v >= %v", order[i-1], c)
+		}
+	}
+}

@@ -97,6 +97,24 @@ func (b *Baseline) Filter(diags []Diagnostic) (kept, suppressed []Diagnostic) {
 	return kept, suppressed
 }
 
+// Prune returns the entries of b whose fingerprint no longer occurs in
+// cur — accepted findings that have since been fixed. Re-recording a
+// baseline prints these so suppression rot is visible in the diff.
+// Entries keep b's order (sorted by fingerprint, as Write emits them).
+func (b *Baseline) Prune(cur *Baseline) []BaselineEntry {
+	live := make(map[string]bool, len(cur.Findings))
+	for _, e := range cur.Findings {
+		live[entryKey(e)] = true
+	}
+	var stale []BaselineEntry
+	for _, e := range b.Findings {
+		if !live[entryKey(e)] {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}
+
 // ReadBaseline loads a baseline file written by Write.
 func ReadBaseline(path string) (*Baseline, error) {
 	data, err := os.ReadFile(path)

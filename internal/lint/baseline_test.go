@@ -78,3 +78,34 @@ func TestBaselineCounts(t *testing.T) {
 		t.Errorf("kept %d suppressed %d, want 1/2", len(kept), len(suppressed))
 	}
 }
+
+// TestBaselinePrune asserts Prune reports exactly the entries whose
+// fingerprint vanished — not ones whose count merely dropped.
+func TestBaselinePrune(t *testing.T) {
+	old := NewBaseline([]Diagnostic{
+		{Check: "taint", File: "a.go", Message: "reads time.Now"},
+		{Check: "allocloop", File: "b.go", Message: "make([]byte) escapes"},
+		{Check: "allocloop", File: "b.go", Message: "make([]byte) escapes"},
+		{Check: "boxing", File: "c.go", Message: "int boxed"},
+	})
+
+	// taint fixed entirely; one of the two allocloop findings fixed;
+	// boxing unchanged.
+	cur := NewBaseline([]Diagnostic{
+		{Check: "allocloop", File: "b.go", Message: "make([]byte) escapes"},
+		{Check: "boxing", File: "c.go", Message: "int boxed"},
+	})
+
+	stale := old.Prune(cur)
+	if len(stale) != 1 {
+		t.Fatalf("stale = %v, want exactly the taint entry", stale)
+	}
+	if stale[0].Check != "taint" || stale[0].File != "a.go" {
+		t.Errorf("stale entry = %+v, want the taint/a.go entry", stale[0])
+	}
+
+	// Pruning against itself reports nothing.
+	if s := old.Prune(old); len(s) != 0 {
+		t.Errorf("self-prune = %v, want empty", s)
+	}
+}

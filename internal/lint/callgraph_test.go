@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/importer"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// calleesOf returns the sorted callee names of the named function, with
+// a dynamic/static marker, e.g. "methodvalue.(*Counter).Inc (dynamic)".
+func calleesOf(t *testing.T, g *Graph, name string) []string {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Name() != name {
+			continue
+		}
+		var out []string
+		for _, cs := range n.Calls {
+			s := cs.Callee.Name()
+			if cs.Dynamic {
+				s += " (dynamic)"
+			} else {
+				s += " (static)"
+			}
+			out = append(out, s)
+		}
+		sort.Strings(out)
+		return out
+	}
+	t.Fatalf("function %s not found in graph", name)
+	return nil
+}
+
+// TestMethodValueResolution pins down call-graph resolution of method
+// values: x.Method taken as a value — both bound to a variable and
+// passed as a function-typed argument — must produce edges to every
+// signature-compatible address-taken method.
+func TestMethodValueResolution(t *testing.T) {
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	dir := filepath.Join("testdata", "src", "methodvalue")
+	pkg := loadTestPkg(t, fset, std, dir, "repro/internal/methodvalue")
+	g := BuildGraph([]*Package{pkg})
+
+	assertEdges := func(fn string, want []string) {
+		t.Helper()
+		got := calleesOf(t, g, fn)
+		if len(got) != len(want) {
+			t.Fatalf("%s callees = %v, want %v", fn, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s callees = %v, want %v", fn, got, want)
+				return
+			}
+		}
+	}
+
+	// Drive calls f (a method value — dynamic, resolving to every
+	// address-taken bound method with signature func()) and Apply
+	// (static).
+	assertEdges("methodvalue.Drive", []string{
+		"methodvalue.(*Counter).Dec (dynamic)",
+		"methodvalue.(*Counter).Inc (dynamic)",
+		"methodvalue.Apply (static)",
+	})
+	// Apply invokes its func() parameter: both matching address-taken
+	// method values are candidates.
+	assertEdges("methodvalue.Apply", []string{
+		"methodvalue.(*Counter).Dec (dynamic)",
+		"methodvalue.(*Counter).Inc (dynamic)",
+	})
+}

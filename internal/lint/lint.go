@@ -108,6 +108,9 @@ func Checks() []*Check {
 		TaintCheck,
 		GorleakCheck,
 		LockheldCheck,
+		AllocloopCheck,
+		BoxingCheck,
+		RetainCheck,
 		StaleallowCheck,
 	}
 }

@@ -1,0 +1,28 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// Relativize rewrites absolute diagnostic paths relative to root so
+// output is stable across machines and CI workspaces. Paths outside
+// root are left untouched.
+func Relativize(diags []Diagnostic, root string) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		diags[i].File = relPath(diags[i].File, abs)
+	}
+}
+
+// relPath returns file relative to the absolute root, slash-separated,
+// or file unchanged when it is not under root.
+func relPath(file, root string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}

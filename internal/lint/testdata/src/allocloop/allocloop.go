@@ -1,0 +1,60 @@
+// Package allocloop exercises the hot-loop allocation check.
+package allocloop
+
+// Thing is a heap payload.
+type Thing struct {
+	v   int
+	buf []byte
+}
+
+// Entry drives build in a loop — the hot path every finding must cite.
+//
+//detlint:hotpath -- fixture entry
+func Entry(n int) []*Thing {
+	out := make([]*Thing, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, build(i))
+	}
+	return out
+}
+
+// build allocates per call; both sites escape via the return and are in
+// hot-loop context even though build itself has no loop.
+func build(i int) *Thing {
+	buf := make([]byte, 64)       // want `make\(\[\]byte\) escapes \(returned\) in a hot loop; hot path: allocloop.Entry → allocloop.build`
+	return &Thing{v: i, buf: buf} // want `composite literal allocloop.Thing escapes \(returned\) in a hot loop`
+}
+
+// suppressed carries the same shape as build, silenced with a reason.
+//
+//detlint:hotpath -- fixture entry
+func suppressed(n int) []*Thing {
+	var out []*Thing
+	for i := 0; i < n; i++ {
+		t := &Thing{v: i} //detlint:allow allocloop -- scratch reuse planned
+		out = append(out, t)
+	}
+	return out
+}
+
+// cold is unreachable from any hot entry: same allocation, no finding.
+func cold(n int) []*Thing {
+	out := make([]*Thing, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, &Thing{v: i, buf: make([]byte, 64)})
+	}
+	return out
+}
+
+// frameLocal allocates in a hot loop, but the value never escapes the
+// frame: the lattice keeps it at none and the check stays silent.
+//
+//detlint:hotpath -- fixture entry
+func frameLocal(n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		t := Thing{v: i}
+		sum += t.v
+	}
+	return sum
+}

@@ -1,0 +1,41 @@
+// Package boxing exercises the hot-path interface boxing check.
+package boxing
+
+import "fmt"
+
+// Entry formats values in a loop; the boxing happens one frame down.
+//
+//detlint:hotpath -- fixture entry
+func Entry(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, format(i))
+		out = append(out, constSmall())
+		out = append(out, pointerShaped(&out))
+	}
+	return out
+}
+
+// format boxes its int into Sprintf's variadic interface parameter —
+// one allocation per call, every iteration.
+func format(x int) string {
+	return fmt.Sprintf("v=%d", x) // want `int boxed into interface\{\} argument of fmt.Sprintf allocates in a hot loop`
+}
+
+// constSmall passes a small constant integer: the runtime serves those
+// from a static table, no allocation, no finding.
+func constSmall() string {
+	return fmt.Sprintf("v=%d", 7)
+}
+
+// pointerShaped passes a pointer: stored directly in the interface
+// word, no allocation, no finding.
+func pointerShaped(p *[]string) string {
+	return fmt.Sprint(p)
+}
+
+// coldFormat boxes exactly like format but is unreachable from any hot
+// entry: no finding.
+func coldFormat(x int) string {
+	return fmt.Sprintf("v=%d", x)
+}

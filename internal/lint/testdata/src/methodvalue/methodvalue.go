@@ -1,0 +1,25 @@
+// Package methodvalue exercises call-graph resolution of method values:
+// x.Method used as a value, both bound to a variable and passed as a
+// function-typed argument.
+package methodvalue
+
+// Counter carries the methods taken as values.
+type Counter struct{ n int }
+
+// Inc has the signature func() after the receiver is bound.
+func (c *Counter) Inc() { c.n++ }
+
+// Dec matches Inc's bound signature.
+func (c *Counter) Dec() { c.n-- }
+
+// Apply invokes a function value: resolves to every address-taken
+// function with a matching signature (Inc and Dec).
+func Apply(f func()) { f() }
+
+// Drive takes c.Inc as a value and calls it, then passes c.Dec as an
+// argument.
+func Drive(c *Counter) {
+	f := c.Inc
+	f()
+	Apply(c.Dec)
+}

@@ -1,0 +1,43 @@
+// Package retain exercises the retained-growth check.
+package retain
+
+// global is heap-resident: any loop growth of it is retained.
+var global = map[string]int{}
+
+// Entry accumulates into a returned slice and a package-level map: both
+// growth targets outlive every iteration.
+//
+//detlint:hotpath -- fixture entry
+func Entry(keys []string) []int {
+	acc := make([]int, 0)
+	for i, k := range keys {
+		acc = append(acc, i) // want `append to acc retained across loop iterations \(target escapes: returned\)`
+		global[k]++          // want `map write to global retained across loop iterations \(target escapes: heap\)`
+		_ = histogram(keys)
+	}
+	return acc
+}
+
+// histogram grows a map that dies with the frame: the growth is not
+// retained beyond the call, no finding.
+func histogram(keys []string) int {
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	return len(seen)
+}
+
+// perIteration declares the slice inside the loop: growth dies each
+// iteration, so nothing is retained across them.
+//
+//detlint:hotpath -- fixture entry
+func perIteration(keys []string) int {
+	total := 0
+	for range keys {
+		row := make([]int, 0)
+		row = append(row, 1)
+		total += len(row)
+	}
+	return total
+}

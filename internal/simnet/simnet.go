@@ -109,12 +109,34 @@ type Model struct {
 
 // New creates a Model.
 func New(cfg Config) *Model {
-	cfg = cfg.withDefaults()
-	m := &Model{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x51a7))}
-	if cfg.Faults.Enabled() {
-		m.frng = rand.New(rand.NewSource(cfg.Seed ^ 0xfa17))
-	}
+	m := &Model{}
+	m.Reset(cfg)
 	return m
+}
+
+// Reset reseeds the model in place for a new page load. Rand.Seed
+// reinitializes the generator state exactly as rand.NewSource does, so
+// a reset model's draw streams are byte-identical to a freshly
+// constructed one's — which lets the browser keep one Model per Browser
+// instead of paying two ~5 KB generator allocations per load. The fault
+// generator is dropped when injection is off, preserving New's
+// invariant that the timing stream never shifts.
+func (m *Model) Reset(cfg Config) {
+	cfg = cfg.withDefaults()
+	m.cfg = cfg
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(cfg.Seed ^ 0x51a7))
+	} else {
+		m.rng.Seed(cfg.Seed ^ 0x51a7)
+	}
+	switch {
+	case !cfg.Faults.Enabled():
+		m.frng = nil
+	case m.frng == nil:
+		m.frng = rand.New(rand.NewSource(cfg.Seed ^ 0xfa17))
+	default:
+		m.frng.Seed(cfg.Seed ^ 0xfa17)
+	}
 }
 
 // RTT returns a jittered round-trip time to loc from the vantage point.

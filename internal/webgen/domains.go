@@ -109,7 +109,7 @@ var (
 // third-party domains for a web seeded with seed: nTrackers ad/tracking
 // domains (which the synthetic Easylist covers) and nBenign benign ones.
 func ThirdPartyDirectory(seed int64, nTrackers, nBenign int) []ThirdParty {
-	rng := rngFor(seed, "third-parties")
+	rng := rngForKey(seed, "third-parties")
 	out := make([]ThirdParty, 0, nTrackers+nBenign)
 	seen := make(map[string]bool)
 	adKinds := []string{"ads", "analytics"}

@@ -221,7 +221,7 @@ var roleMixInternal = []roleFrac{
 func (p *Page) Build() *PageModel {
 	s := p.Site
 	prof := &s.Profile
-	rng := rngFor(s.seed, "page-model", p.Index)
+	rng := rngForKeyIdx(s.seed, "page-model", p.Index)
 	m := &PageModel{Page: p, URL: p.URL()}
 
 	landing := p.IsLanding()
@@ -258,6 +258,11 @@ func (p *Page) Build() *PageModel {
 
 	pageScheme := p.Scheme()
 	host := s.Host()
+
+	// Size the object slice up front: root + regular + ad-tech roughly
+	// tracks n, and the paper-scale pages make append regrowth visible
+	// in the study benchmarks.
+	m.Objects = make([]*Object, 0, n+16)
 
 	// --- Root document ---
 	root := &Object{
@@ -544,8 +549,8 @@ func shortLabel(domain string) string {
 
 // trackerPool returns the site's ad/analytics vendor roster.
 func (s *Site) trackerPool() []string {
-	rng := rngFor(s.seed, "trackers")
-	var trackers []string
+	rng := rngForKey(s.seed, "trackers")
+	trackers := make([]string, 0, len(s.web.thirdParties))
 	for _, tp := range s.web.thirdParties {
 		if tp.Tracker {
 			trackers = append(trackers, tp.Domain)
@@ -561,8 +566,8 @@ func (s *Site) trackerPool() []string {
 
 // tpRoster returns the site's benign third-party roster, head = core.
 func (s *Site) tpRoster() []string {
-	rng := rngFor(s.seed, "tproster")
-	var benign []string
+	rng := rngForKey(s.seed, "tproster")
+	benign := make([]string, 0, len(s.web.thirdParties))
 	for _, tp := range s.web.thirdParties {
 		if !tp.Tracker {
 			benign = append(benign, tp.Domain)
@@ -897,7 +902,7 @@ func (p *Page) assignMixedContent(rng *rand.Rand, m *PageModel, landing bool) {
 		mixed = prof.MixedLanding
 	} else {
 		mixed = prof.MixedInternalProb > 0 &&
-			noise01(p.Site.seed, "mixed", p.Index) < prof.MixedInternalProb
+			noise01KeyIdx(p.Site.seed, "mixed", p.Index) < prof.MixedInternalProb
 	}
 	if !mixed {
 		return
@@ -1029,6 +1034,7 @@ func (p *Page) buildLinks(rng *rand.Rand, m *PageModel, landing bool) {
 	} else {
 		linkCount = 8 + rng.Intn(22)
 	}
+	m.Links = make([]string, 0, linkCount+1)
 	for _, ix := range sampleDistinct(rng, pool, linkCount+1, 0.6) {
 		idx := 1 + ix
 		if idx == p.Index || len(m.Links) >= linkCount {

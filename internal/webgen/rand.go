@@ -41,6 +41,56 @@ func rngFor(base int64, parts ...interface{}) *rand.Rand {
 	return rand.New(rand.NewSource(subSeed(base, parts...)))
 }
 
+// FNV-1a 64-bit constants, inlined so the typed sub-seed fast paths
+// below hash without the hash.Hash64 interface or boxed variadic parts.
+// TestSubSeedFastPaths pins them bit-identical to subSeed.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnv64aU64 folds v's 8 little-endian bytes into h, matching subSeed's
+// put().
+func fnv64aU64(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h ^= (v >> i) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnv64aString folds s and subSeed's {0} terminator into h.
+func fnv64aString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	// Terminator byte 0: the XOR is a no-op, the multiply is not.
+	h *= fnvPrime64
+	return h
+}
+
+// subSeedKey is subSeed(base, key) without the variadic boxing —
+// bit-identical result, zero allocations.
+func subSeedKey(base int64, key string) int64 {
+	return int64(fnv64aString(fnv64aU64(fnvOffset64, uint64(base)), key))
+}
+
+// subSeedKeyIdx is subSeed(base, key, idx) without the variadic boxing.
+func subSeedKeyIdx(base int64, key string, idx int) int64 {
+	return int64(fnv64aU64(fnv64aString(fnv64aU64(fnvOffset64, uint64(base)), key), uint64(idx)))
+}
+
+// rngForKey is rngFor(base, key) on the typed fast path.
+func rngForKey(base int64, key string) *rand.Rand {
+	return rand.New(rand.NewSource(subSeedKey(base, key)))
+}
+
+// rngForKeyIdx is rngFor(base, key, idx) on the typed fast path.
+func rngForKeyIdx(base int64, key string, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(subSeedKeyIdx(base, key, idx)))
+}
+
 // logNormal draws a lognormal sample with the given median and sigma of
 // the underlying normal.
 func logNormal(rng *rand.Rand, median, sigma float64) float64 {
@@ -105,8 +155,16 @@ func ratioSample(rng *rand.Rand, pAbove, sigma float64) float64 {
 // noise01 returns a deterministic pseudo-random float in [0,1) keyed by
 // the parts, without allocating an RNG. Used for per-week weight jitter.
 func noise01(base int64, parts ...interface{}) float64 {
-	s := uint64(subSeed(base, parts...))
-	// xorshift finalizer
+	return finalize01(uint64(subSeed(base, parts...)))
+}
+
+// noise01KeyIdx is noise01(base, key, idx) on the typed fast path.
+func noise01KeyIdx(base int64, key string, idx int) float64 {
+	return finalize01(uint64(subSeedKeyIdx(base, key, idx)))
+}
+
+// finalize01 maps a sub-seed to [0,1) with an xorshift finalizer.
+func finalize01(s uint64) float64 {
 	s ^= s >> 33
 	s *= 0xff51afd7ed558ccd
 	s ^= s >> 33

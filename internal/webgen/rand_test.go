@@ -1,0 +1,39 @@
+package webgen
+
+import "testing"
+
+// TestSubSeedFastPaths pins the typed sub-seed fast paths bit-identical
+// to the variadic originals: every generated corpus depends on these
+// streams, so a divergence here silently rewrites the whole web.
+func TestSubSeedFastPaths(t *testing.T) {
+	bases := []int64{0, 1, -1, 42, 1 << 40, -(1 << 52)}
+	keys := []string{"", "page-model", "trackers", "mixed", "a:b/c"}
+	idxs := []int{0, 1, 7, 1000, -3}
+	for _, base := range bases {
+		for _, key := range keys {
+			if got, want := subSeedKey(base, key), subSeed(base, key); got != want {
+				t.Errorf("subSeedKey(%d, %q) = %d, want %d", base, key, got, want)
+			}
+			for _, idx := range idxs {
+				if got, want := subSeedKeyIdx(base, key, idx), subSeed(base, key, idx); got != want {
+					t.Errorf("subSeedKeyIdx(%d, %q, %d) = %d, want %d", base, key, idx, got, want)
+				}
+				if got, want := noise01KeyIdx(base, key, idx), noise01(base, key, idx); got != want {
+					t.Errorf("noise01KeyIdx(%d, %q, %d) = %v, want %v", base, key, idx, got, want)
+				}
+			}
+		}
+	}
+
+	// The RNG constructors wrap the same seeds: first draws must agree.
+	for _, base := range bases {
+		a, b := rngForKey(base, "trackers"), rngFor(base, "trackers")
+		if a.Int63() != b.Int63() {
+			t.Errorf("rngForKey(%d) draw diverged from rngFor", base)
+		}
+		c, d := rngForKeyIdx(base, "page-model", 3), rngFor(base, "page-model", 3)
+		if c.Int63() != d.Int63() {
+			t.Errorf("rngForKeyIdx(%d) draw diverged from rngFor", base)
+		}
+	}
+}

@@ -17,7 +17,7 @@ func (p *Page) Disallowed() bool {
 	if frac <= 0 {
 		return false
 	}
-	return noise01(p.Site.seed, "robots", p.Index) < frac
+	return noise01KeyIdx(p.Site.seed, "robots", p.Index) < frac
 }
 
 // RobotsTxt renders the site's robots.txt: a generic politeness preamble
@@ -50,7 +50,7 @@ func (p *Page) RedirectsToInsecure() (string, bool) {
 		return "", false
 	}
 	prob := p.Site.Profile.InsecureRedirectProb
-	if prob <= 0 || noise01(p.Site.seed, "insecure-redirect", p.Index) >= prob {
+	if prob <= 0 || noise01KeyIdx(p.Site.seed, "insecure-redirect", p.Index) >= prob {
 		return "", false
 	}
 	// The careers-site pattern: a different registrable domain, HTTP.

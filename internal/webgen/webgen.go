@@ -347,7 +347,7 @@ func (p *Page) Path() string {
 	if p.IsLanding() {
 		return "/"
 	}
-	rng := rngFor(p.Site.seed, "path", p.Index)
+	rng := rngForKeyIdx(p.Site.seed, "path", p.Index)
 	return pathFor(rng, p.Site.Category, p.Index)
 }
 
@@ -367,7 +367,7 @@ func (p *Page) baseScheme() string {
 		return "http"
 	}
 	if prof.HTTPInternalProb > 0 &&
-		noise01(p.Site.seed, "scheme", p.Index) < prof.HTTPInternalProb {
+		noise01KeyIdx(p.Site.seed, "scheme", p.Index) < prof.HTTPInternalProb {
 		return "http"
 	}
 	return "https"
@@ -394,7 +394,7 @@ func (p *Page) Title() string {
 	if p.IsLanding() {
 		return p.Site.Domain + " — home"
 	}
-	rng := rngFor(p.Site.seed, "title", p.Index)
+	rng := rngForKeyIdx(p.Site.seed, "title", p.Index)
 	w := slugWords[rng.Intn(len(slugWords))]
 	return fmt.Sprintf("%s %s — %s",
 		strings.ToUpper(w[:1])+w[1:],
@@ -414,7 +414,7 @@ func (p *Page) VisitWeight() float64 {
 	week := s.web.Week
 	// Base Zipf over the page pool, keyed to a stable per-page draw so
 	// the "intrinsically popular" pages persist.
-	base := math.Pow(1+noise01(s.seed, "basepop", p.Index)*float64(s.PoolSize()), -0.9)
+	base := math.Pow(1+noise01KeyIdx(s.seed, "basepop", p.Index)*float64(s.PoolSize()), -0.9)
 	sigma := 0.5
 	switch s.Category {
 	case CatNews, CatSports:
