@@ -4,13 +4,19 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-baseline bench-gate serve-smoke trace-smoke lint lint-baseline alloc-report ci fmt-check clean
+.PHONY: build test test-race bench bench-smoke bench-baseline bench-gate serve-smoke trace-smoke lint lint-baseline alloc-report leak-report ci fmt-check clean
 
 # Accepted pre-existing lint findings; see `detlint -baseline`. The file
 # is committed (currently the allocation-churn backlog recorded when the
 # hot-path checks were adopted) so adopting a new check never requires
 # fixing the whole tree in one PR.
 BASELINE := detlint-baseline.json
+
+# Ratchet cap on the committed baseline: `make lint` fails if the
+# baseline ever records more suppressed findings than this. Burn findings
+# down, re-record with lint-baseline, then LOWER this number — never
+# raise it to absorb new debt.
+BASELINE_CAP := 310
 
 build:
 	$(GO) build ./...
@@ -99,8 +105,8 @@ trace-smoke:
 # suppressed; anything new fails. detlint.sarif feeds GitHub code
 # scanning and detlint.json is the CI artifact.
 lint:
-	$(GO) run ./cmd/detlint -format sarif -baseline $(BASELINE) -o detlint.sarif
-	$(GO) run ./cmd/detlint -format json -baseline $(BASELINE) -o detlint.json
+	$(GO) run ./cmd/detlint -format sarif -baseline $(BASELINE) -max-baseline $(BASELINE_CAP) -o detlint.sarif
+	$(GO) run ./cmd/detlint -format json -baseline $(BASELINE) -max-baseline $(BASELINE_CAP) -o detlint.json
 
 # Re-record the accepted findings (after triaging that every new finding
 # is a justified keep — prefer fixing, or //detlint:allow with a reason).
@@ -113,6 +119,14 @@ lint-baseline:
 alloc-report:
 	$(GO) run ./cmd/detlint -hotpaths -format json -o detlint-hotpaths.json
 	$(GO) run ./cmd/detlint -hotpaths
+
+# Resource-lifecycle report: every tracked acquisition (files, sockets,
+# response bodies, cancel funcs, tickers, profile stops) with how each
+# path disposes of it, leaks first, hot functions ranked on top. The JSON
+# is the CI artifact; the text rendering is for humans.
+leak-report:
+	$(GO) run ./cmd/detlint -leaks -format json -o detlint-leaks.json
+	$(GO) run ./cmd/detlint -leaks
 
 # Fail (with the offending files listed) if anything is not gofmt-clean.
 fmt-check:

@@ -28,6 +28,16 @@
 // reachable from //detlint:hotpath entry points, with rendered call
 // chains). The report honors -format text|json|sarif and -o, and always
 // exits 0 — it is an inventory, not a gate.
+//
+// -leaks is the analogous report mode for the resource-lifecycle
+// analysis: every tracked acquisition (files, connections, response
+// bodies, cancel funcs, tickers, trace recorders) with its resolved
+// fate — released, deferred, transferred, or leaked — hot functions
+// first. Also -format aware, also always exit 0.
+//
+// -max-baseline N is the ratchet: after loading -baseline, fail (exit 1)
+// when the accepted-finding total exceeds N, so the churn backlog can
+// only shrink. N < 0 (the default) disables the gate.
 package main
 
 import (
@@ -57,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outFile := fs.String("o", "", "write output to file instead of stdout")
 	list := fs.Bool("list", false, "list available checks and exit")
 	hotpaths := fs.Bool("hotpaths", false, "emit the hot-path allocation report instead of running checks")
+	leaks := fs.Bool("leaks", false, "emit the resource-lifecycle report instead of running checks")
+	maxBaseline := fs.Int("max-baseline", -1, "fail when the baseline's accepted-finding total exceeds N (ratchet; <0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -128,6 +140,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *leaks {
+		rep := lint.LifecycleReport(pkgs)
+		rep.Relativize(*dir)
+		if err := renderLeaks(out, *format, rep); err != nil {
+			fmt.Fprintf(stderr, "detlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "detlint: lifecycle report: %d function(s), %d tracked resource(s), %d leak(s)\n",
+			len(rep.Functions), rep.TotalResources, rep.Leaks)
+		return 0
+	}
+
 	diags := lint.Run(pkgs, checks)
 	lint.Relativize(diags, *dir)
 
@@ -161,6 +185,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "detlint: %v\n", err)
 			return 2
+		}
+		if *maxBaseline >= 0 && base.Total() > *maxBaseline {
+			fmt.Fprintf(stderr, "detlint: baseline %s accepts %d findings, over the ratchet cap of %d — burn findings down instead of re-recording a larger baseline\n",
+				*baselineFile, base.Total(), *maxBaseline)
+			return 1
 		}
 		diags, suppressed = base.Filter(diags)
 	}
@@ -239,6 +268,26 @@ func renderHotpaths(out io.Writer, format string, rep *lint.HotReport) error {
 		return enc.Encode(rep)
 	case "sarif":
 		return lint.WriteSARIF(out, []*lint.Check{hotallocRule}, rep.Diagnostics())
+	default:
+		return rep.WriteText(out)
+	}
+}
+
+// lifecycleRule is the synthetic rule the SARIF rendering of the
+// lifecycle report carries its sites under.
+var lifecycleRule = &lint.Check{
+	Name: "lifecycle",
+	Doc:  "tracked resource acquisition and its resolved fate (released, deferred, transferred, leaked)",
+}
+
+func renderLeaks(out io.Writer, format string, rep *lint.LeakReport) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	case "sarif":
+		return lint.WriteSARIF(out, []*lint.Check{lifecycleRule}, rep.Diagnostics())
 	default:
 		return rep.WriteText(out)
 	}

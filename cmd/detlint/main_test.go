@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -79,6 +80,98 @@ func TestHotpathsReport(t *testing.T) {
 	}
 	if !strings.Contains(first, `"entries"`) || !strings.Contains(first, `"fingerprint"`) {
 		t.Errorf("json report missing expected fields:\n%s", first)
+	}
+}
+
+// TestLifecycleChecks runs the five lifecycle checks over the fixture
+// module: each finds its planted defect, the subset stays isolated from
+// the other analyzers, and the rendering is byte-identical across runs
+// and GOMAXPROCS values.
+func TestLifecycleChecks(t *testing.T) {
+	const lifeChecks = "closeleak,bodyclose,cancelleak,tickleak,deferhot"
+	code, out, _ := runCLI(t, "-dir", fixtureMod, "-checks", lifeChecks)
+	if code != 1 {
+		t.Fatalf("lifecycle subset exit = %d, want 1\n%s", code, out)
+	}
+	for _, tag := range []string{"[closeleak]", "[bodyclose]", "[cancelleak]", "[tickleak]", "[deferhot]"} {
+		if !strings.Contains(out, tag) {
+			t.Errorf("output missing %s finding:\n%s", tag, out)
+		}
+	}
+	if strings.Contains(out, "[walltime]") || strings.Contains(out, "[allocloop]") {
+		t.Errorf("lifecycle subset leaked other checks' findings:\n%s", out)
+	}
+
+	// One check alone reports only its own defect.
+	code, out, _ = runCLI(t, "-dir", fixtureMod, "-checks", "tickleak")
+	if code != 1 || !strings.Contains(out, "[tickleak]") {
+		t.Fatalf("tickleak-only exit = %d, want 1 with a tickleak finding\n%s", code, out)
+	}
+	if strings.Contains(out, "[closeleak]") {
+		t.Errorf("tickleak-only run leaked closeleak findings:\n%s", out)
+	}
+
+	// Byte-identical across repeated runs and across GOMAXPROCS.
+	_, first, _ := runCLI(t, "-dir", fixtureMod, "-checks", lifeChecks, "-format", "json")
+	_, again, _ := runCLI(t, "-dir", fixtureMod, "-checks", lifeChecks, "-format", "json")
+	if first != again {
+		t.Errorf("lifecycle json diverged across runs:\n--- first ---\n%s--- again ---\n%s", first, again)
+	}
+	old := runtime.GOMAXPROCS(1)
+	_, serial, _ := runCLI(t, "-dir", fixtureMod, "-checks", lifeChecks, "-format", "json")
+	runtime.GOMAXPROCS(old)
+	if first != serial {
+		t.Errorf("lifecycle json diverged across GOMAXPROCS:\n--- parallel ---\n%s--- serial ---\n%s", first, serial)
+	}
+}
+
+// TestLeaksReport exercises -leaks: exit 0 despite the planted leaks,
+// the inventory names resources with resolved fates, and the JSON
+// rendering is stable across runs.
+func TestLeaksReport(t *testing.T) {
+	code, text, errOut := runCLI(t, "-dir", fixtureMod, "-leaks")
+	if code != 0 {
+		t.Fatalf("-leaks exit = %d, want 0\n%s", code, text)
+	}
+	for _, want := range []string{"resource-lifecycle report", "os.Open", "-> leaked", "-> deferred", "[bodyclose]", "[hot]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(errOut, "lifecycle report:") {
+		t.Errorf("stderr missing summary line:\n%s", errOut)
+	}
+
+	_, first, _ := runCLI(t, "-dir", fixtureMod, "-leaks", "-format", "json")
+	_, again, _ := runCLI(t, "-dir", fixtureMod, "-leaks", "-format", "json")
+	if first != again {
+		t.Errorf("-leaks json diverged across runs:\n--- first ---\n%s--- again ---\n%s", first, again)
+	}
+	if !strings.Contains(first, `"fingerprint"`) || !strings.Contains(first, `"outcome"`) {
+		t.Errorf("json report missing expected fields:\n%s", first)
+	}
+}
+
+// TestMaxBaselineRatchet pins the ratchet contract: a baseline over the
+// cap fails the run outright, at or under the cap it filters as usual.
+func TestMaxBaselineRatchet(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	code, _, errOut := runCLI(t, "-dir", fixtureMod, "-baseline", base, "-write-baseline")
+	if code != 0 {
+		t.Fatalf("-write-baseline exit = %d\n%s", code, errOut)
+	}
+
+	code, _, errOut = runCLI(t, "-dir", fixtureMod, "-baseline", base, "-max-baseline", "0")
+	if code != 1 {
+		t.Fatalf("over-cap exit = %d, want 1\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "over the ratchet cap") {
+		t.Errorf("stderr missing ratchet message:\n%s", errOut)
+	}
+
+	code, _, errOut = runCLI(t, "-dir", fixtureMod, "-baseline", base, "-max-baseline", "100000")
+	if code != 0 {
+		t.Errorf("under-cap exit = %d, want 0\n%s", code, errOut)
 	}
 }
 

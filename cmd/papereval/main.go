@@ -85,6 +85,7 @@ func main() {
 			id = strings.TrimSpace(id)
 			e, ok := experiments.ByID(id)
 			if !ok {
+				profiling.StopAll() // exit skips stopCPU below: flush the profile
 				fmt.Fprintf(os.Stderr, "papereval: unknown experiment %q (use -list)\n", id)
 				os.Exit(2)
 			}

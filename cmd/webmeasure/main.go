@@ -71,6 +71,7 @@ func main() {
 	if *traceOut != "" {
 		detail, err := trace.ParseDetail(*traceDetail)
 		if err != nil {
+			profiling.StopAll() // flag error exits past the explicit stop
 			fmt.Fprintf(os.Stderr, "webmeasure: %v\n", err)
 			os.Exit(2)
 		}
@@ -267,6 +268,9 @@ func maxInt(a, b int) int {
 
 func fatal(err error) {
 	if err != nil {
+		// os.Exit skips defers: flush any profile still running so a
+		// failed run leaves a readable file instead of a truncated one.
+		profiling.StopAll()
 		fmt.Fprintf(os.Stderr, "webmeasure: %v\n", err)
 		os.Exit(1)
 	}

@@ -45,6 +45,20 @@ func NewCachingClient(cache *Cache, transport http.RoundTripper, now func() time
 	return &CachingClient{cache: cache, rt: transport, now: now, bodies: make(map[string][]byte)}
 }
 
+// Close releases the client's retained bodies and tears down any idle
+// connections its transport is pooling. The cache itself (metadata
+// only) is left intact for inspection; the client must not be used for
+// further Gets. A CachingClient holds every accepted body until Close,
+// so long-lived callers that are done fetching should call it rather
+// than wait for the whole client to fall out of scope.
+func (cc *CachingClient) Close() {
+	cc.bodies = nil
+	type idleCloser interface{ CloseIdleConnections() }
+	if t, ok := cc.rt.(idleCloser); ok {
+		t.CloseIdleConnections()
+	}
+}
+
 // FetchResult describes how one GET was satisfied.
 type FetchResult struct {
 	Status int

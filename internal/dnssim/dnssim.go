@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -68,14 +69,26 @@ func (a *SyntheticAuthority) Lookup(host string) (Record, bool) {
 	return Record{Host: host, Addr: SyntheticAddr(host), TTL: ttl}, true
 }
 
+// octet holds the decimal rendering of every byte value, so hot-path
+// address construction below is a single concatenation (one allocation
+// for the returned string, nothing else).
+var octet = func() (t [256]string) {
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return
+}()
+
 // SyntheticAddr derives a stable fake IPv4 address from a hostname.
 func SyntheticAddr(host string) string {
 	h := fnv.New32a()
 	h.Write([]byte(host))
 	v := h.Sum32()
 	// Stay in the TEST-NET-3 and documentation ranges, then widen; these
-	// addresses never leave the simulation.
-	return fmt.Sprintf("198.%d.%d.%d", 18+(v>>16)%32, (v>>8)&255, v&255)
+	// addresses never leave the simulation. This runs once per cold
+	// resolution on the load path, hence the table lookups instead of
+	// format verbs.
+	return "198." + octet[18+(v>>16)%32] + "." + octet[(v>>8)&255] + "." + octet[v&255]
 }
 
 // Result is the outcome of one resolution.

@@ -91,8 +91,13 @@ func RunLoad(baseURL string, cfg LoadConfig) (*LoadReport, *runstats.Set, error)
 	set := runstats.NewSet()
 
 	// Fetch the week's list once to learn the rank→domain mapping every
-	// simulated user browses by.
-	client := &http.Client{}
+	// simulated user browses by. The client gets its own transport so the
+	// keep-alive connection is torn down when the run ends instead of
+	// idling in the process-wide default pool — RunLoad is called from
+	// long-running servers (the smoke endpoint), not just the CLI.
+	bootTr := &http.Transport{}
+	defer bootTr.CloseIdleConnections()
+	client := &http.Client{Transport: bootTr}
 	listURL := fmt.Sprintf("%s/v1/list/%d?wait=1", baseURL, cfg.Week)
 	resp, err := client.Get(listURL)
 	if err != nil {
@@ -133,7 +138,12 @@ func RunLoad(baseURL string, cfg LoadConfig) (*LoadReport, *runstats.Set, error)
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(domains)-1))
 			etags := make(map[string]string) // the user's validator memory
-			hc := &http.Client{}
+			// Per-user transport: connection reuse stays within one
+			// simulated user, and the sockets close with the worker
+			// rather than accumulating in the shared default pool.
+			tr := &http.Transport{}
+			defer tr.CloseIdleConnections()
+			hc := &http.Client{Transport: tr}
 			ty := &tallies[c]
 			ty.statuses = make(map[int]int)
 			gzipUser := c%2 == 0 // half the fleet advertises gzip support

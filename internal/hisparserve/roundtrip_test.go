@@ -34,6 +34,7 @@ func TestBrowserCacheRoundTrip(t *testing.T) {
 	clock := time.Date(2020, 3, 12, 0, 0, 0, 0, time.UTC)
 	cache := browser.NewCache()
 	cc := browser.NewCachingClient(cache, &http.Transport{DisableCompression: true}, func() time.Time { return clock })
+	defer cc.Close()
 
 	url := ts.URL + "/v1/list/0?wait=1"
 

@@ -75,6 +75,16 @@ func NewBaseline(diags []Diagnostic) *Baseline {
 	return b
 }
 
+// Total returns the number of accepted findings (the sum of entry
+// counts) — the quantity the ratchet caps so the baseline only shrinks.
+func (b *Baseline) Total() int {
+	n := 0
+	for _, e := range b.Findings {
+		n += e.Count
+	}
+	return n
+}
+
 // Filter splits diagnostics into new findings (kept) and ones covered by
 // the baseline (suppressed). Each baseline entry suppresses at most
 // Count occurrences of its fingerprint; diagnostics beyond the budget —

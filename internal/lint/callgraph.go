@@ -82,6 +82,7 @@ type Graph struct {
 	taint  *taintState // computed on first use by the taint check
 	blocky *blockState // computed on first use by gorleak/lockheld
 	allocs *allocState // computed on first use by the allocflow checks
+	life   *lifeState  // computed on first use by the lifecycle checks
 }
 
 // Nodes returns every function node sorted by ID.

@@ -1,0 +1,519 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// This file builds an intraprocedural control-flow graph over go/ast —
+// the substrate for the must-release dataflow in lifeflow.go. The graph
+// is deliberately statement-granular: each basic block holds the shallow
+// statements (and branch conditions) executed in order, and compound
+// statements contribute only their non-body components (an if's
+// condition, a range's operand, a select case's comm statement) so a
+// client walking a block never re-enters a nested body.
+//
+// Three synthetic blocks bracket every function:
+//
+//   - Entry: the function's first block.
+//   - Exit:  normal termination — every return and the fall-off-the-end
+//     path lead here. Deferred calls run on the way.
+//   - Halt:  abnormal termination — panic, runtime.Goexit, os.Exit,
+//     log.Fatal*, and calls to module functions whose own CFG proves
+//     they never return. Deferred calls still run on panic/Goexit, and
+//     os.Exit ends the process outright, so resource-lifecycle clients
+//     do not treat reaching Halt as a leak.
+//
+// Two-way branches record their condition: Succs[0] is the true edge and
+// Succs[1] the false edge, which lets the dataflow kill resources whose
+// paired error variable is known non-nil on an edge (the `v, err :=
+// acquire(); if err != nil { return err }` idiom leaves v nil on the
+// error path).
+
+// CFGBlock is one basic block.
+type CFGBlock struct {
+	Index int
+	Kind  string
+	Nodes []ast.Node
+	Succs []*CFGBlock
+	// Cond is set on blocks ending in a two-way branch: Succs[0] is
+	// taken when Cond is true, Succs[1] when it is false.
+	Cond ast.Expr
+}
+
+// CFG is one function's control-flow graph. Entry is Blocks[0], Exit
+// Blocks[1], Halt Blocks[2]; body blocks follow in construction order.
+type CFG struct {
+	Blocks []*CFGBlock
+	Entry  *CFGBlock
+	Exit   *CFGBlock
+	Halt   *CFGBlock
+}
+
+// String renders the graph one block per line — "b3 for.head -> b4 b5
+// [i < n]" — for golden tests and debugging.
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		sb.WriteString("b")
+		sb.WriteString(strconv.Itoa(b.Index))
+		sb.WriteString(" ")
+		sb.WriteString(b.Kind)
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				sb.WriteString(" b")
+				sb.WriteString(strconv.Itoa(s.Index))
+			}
+		}
+		if b.Cond != nil {
+			sb.WriteString(" [")
+			sb.WriteString(types.ExprString(b.Cond))
+			sb.WriteString("]")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// cfgBuilder holds the in-progress graph. cur is nil after a jump: the
+// next statement (if any) starts a fresh, possibly unreachable block.
+type cfgBuilder struct {
+	c    *CFG
+	info *types.Info          // nil in pure-syntax tests
+	term map[*types.Func]bool // module functions proven never to return
+	cur  *CFGBlock
+	tgts []*branchTargets     // innermost last
+	lbls map[string]*CFGBlock // goto/label targets, pre-created
+	lbl  string               // pending label for the next breakable stmt
+}
+
+// branchTargets records where break/continue jump for one enclosing
+// for/range/switch/select statement.
+type branchTargets struct {
+	label    string
+	brk      *CFGBlock
+	cont     *CFGBlock // nil for switch/select
+	isLoop   bool
+	fallThru *CFGBlock // next case clause body, set while visiting a clause
+}
+
+// BuildCFG constructs the control-flow graph of one function body. info
+// and term may be nil; they sharpen the detection of terminating calls
+// (os.Exit, log.Fatal, module no-return helpers) beyond the syntactic
+// fallback.
+func BuildCFG(body *ast.BlockStmt, info *types.Info, term map[*types.Func]bool) *CFG {
+	b := &cfgBuilder{
+		c:    &CFG{},
+		info: info,
+		term: term,
+		lbls: make(map[string]*CFGBlock),
+	}
+	b.c.Entry = b.newBlock("entry")
+	b.c.Exit = b.newBlock("exit")
+	b.c.Halt = b.newBlock("halt")
+	// Pre-create one block per label so forward gotos have a target.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			b.lbls[ls.Label.Name] = b.newBlock("label." + ls.Label.Name)
+		}
+		return true
+	})
+	b.cur = b.c.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.c.Exit)
+	return b.c
+}
+
+func (b *cfgBuilder) newBlock(kind string) *CFGBlock {
+	blk := &CFGBlock{Index: len(b.c.Blocks), Kind: kind}
+	b.c.Blocks = append(b.c.Blocks, blk)
+	return blk
+}
+
+// edge links from → to; a nil from (sealed path) is a no-op.
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a shallow node to the current block, opening a fresh
+// (unreachable) block if the path was sealed — unreachable code still
+// needs a home so gotos into it resolve.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// A pending label applies only to the statement that directly
+	// follows it.
+	label := b.lbl
+	b.lbl = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		lb := b.lbls[s.Label.Name]
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.lbl = s.Label.Name
+		b.stmt(s.Stmt)
+		b.lbl = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.c.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.DeferStmt, *ast.GoStmt, *ast.AssignStmt, *ast.DeclStmt,
+		*ast.SendStmt, *ast.IncDecStmt:
+		b.add(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.terminates(call) {
+			b.edge(b.cur, b.c.Halt)
+			b.cur = nil
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		b.add(s)
+	}
+}
+
+// branch resolves break/continue/goto/fallthrough.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.GOTO:
+		b.edge(b.cur, b.lbls[name])
+		b.cur = nil
+	case token.BREAK:
+		for i := len(b.tgts) - 1; i >= 0; i-- {
+			t := b.tgts[i]
+			if name == "" || t.label == name {
+				b.edge(b.cur, t.brk)
+				break
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.tgts) - 1; i >= 0; i-- {
+			t := b.tgts[i]
+			if t.isLoop && (name == "" || t.label == name) {
+				b.edge(b.cur, t.cont)
+				break
+			}
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		for i := len(b.tgts) - 1; i >= 0; i-- {
+			if t := b.tgts[i]; t.fallThru != nil {
+				b.edge(b.cur, t.fallThru)
+				break
+			}
+		}
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	then := b.newBlock("if.then")
+	b.edge(head, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenOut := b.cur
+
+	var elseOut *CFGBlock
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(head, els)
+		if head != nil {
+			head.Cond = s.Cond
+		}
+		b.cur = els
+		b.stmt(s.Else)
+		elseOut = b.cur
+	} else {
+		// The false edge of the condition flows around the body.
+		elseOut = head
+		if head != nil {
+			head.Cond = s.Cond
+		}
+	}
+	if thenOut == nil && elseOut == nil {
+		b.cur = nil
+		return
+	}
+	join := b.newBlock("if.done")
+	b.edge(thenOut, join)
+	b.edge(elseOut, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	done := b.newBlock("for.done")
+	body := b.newBlock("for.body")
+
+	// continue targets the post statement when there is one.
+	cont := head
+	var post *CFGBlock
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		cont = post
+	}
+
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+		head.Cond = s.Cond
+		b.edge(head, body)
+		b.edge(head, done)
+	} else {
+		b.edge(head, body)
+	}
+
+	b.tgts = append(b.tgts, &branchTargets{label: label, brk: done, cont: cont, isLoop: true})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.tgts = b.tgts[:len(b.tgts)-1]
+
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	} else {
+		b.edge(b.cur, head)
+	}
+	// A condition-less loop with no break leaves done unreachable —
+	// clients see reachability, not block count, so it stays.
+	b.cur = done
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.add(s.X)
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	done := b.newBlock("range.done")
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+	b.edge(head, done)
+
+	b.tgts = append(b.tgts, &branchTargets{label: label, brk: done, cont: head, isLoop: true})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.tgts = b.tgts[:len(b.tgts)-1]
+	b.edge(b.cur, head)
+	b.cur = done
+}
+
+// switchBody wires the shared clause structure of switch and type
+// switch: every clause starts from the head block, a missing default
+// adds a direct head → done edge, and fallthrough jumps to the next
+// clause's body.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("dead")
+		b.cur = head
+	}
+	done := b.newBlock("switch.done")
+	b.tgts = append(b.tgts, &branchTargets{label: label, brk: done})
+	t := b.tgts[len(b.tgts)-1]
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*CFGBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		b.edge(head, blocks[i])
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	for i, cc := range clauses {
+		t.fallThru = nil
+		if i+1 < len(blocks) {
+			t.fallThru = blocks[i+1]
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.tgts = b.tgts[:len(b.tgts)-1]
+	b.cur = done
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("dead")
+		b.cur = head
+	}
+	done := b.newBlock("select.done")
+	b.tgts = append(b.tgts, &branchTargets{label: label, brk: done})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done)
+	}
+	b.tgts = b.tgts[:len(b.tgts)-1]
+	b.cur = done
+}
+
+// terminates reports whether a call never returns: the panic builtin,
+// runtime.Goexit, os.Exit, log.Fatal*, testing's Fatal/FailNow/Skip
+// family, or a module function whose own CFG proves no-return. With nil
+// type info it falls back to matching the source spelling.
+func (b *cfgBuilder) terminates(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if b.info == nil {
+		switch f := fun.(type) {
+		case *ast.Ident:
+			return f.Name == "panic"
+		case *ast.SelectorExpr:
+			if x, ok := f.X.(*ast.Ident); ok {
+				switch x.Name + "." + f.Sel.Name {
+				case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if builtinName(b.info, fun) == "panic" {
+		return true
+	}
+	if pkg, name, ok := pkgFunc(b.info, call); ok {
+		switch {
+		case pkg == "os" && name == "Exit",
+			pkg == "runtime" && name == "Goexit",
+			pkg == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln"):
+			return true
+		}
+	}
+	if recv, name, ok := methodCall(b.info, call); ok {
+		if namedIn(recv, "testing", "T", "B", "F") {
+			switch name {
+			case "Fatal", "Fatalf", "FailNow", "SkipNow", "Skip", "Skipf":
+				return true
+			}
+		}
+	}
+	// Module no-return helpers (e.g. a main package's fatal()).
+	if b.term != nil {
+		if id, ok := fun.(*ast.Ident); ok {
+			if f, ok := b.info.Uses[id].(*types.Func); ok && b.term[f.Origin()] {
+				return true
+			}
+		}
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			if f, ok := b.info.Uses[sel.Sel].(*types.Func); ok && b.term[f.Origin()] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExitReachable reports whether the normal Exit block is reachable from
+// Entry — false for functions that always panic or exit the process.
+func (c *CFG) ExitReachable() bool {
+	seen := make([]bool, len(c.Blocks))
+	var walk func(b *CFGBlock) bool
+	walk = func(b *CFGBlock) bool {
+		if seen[b.Index] {
+			return false
+		}
+		seen[b.Index] = true
+		if b == c.Exit {
+			return true
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(c.Entry)
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFromSrc parses a single function and builds its CFG with no type
+// info — the syntactic terminator fallback (panic, os.Exit, log.Fatal)
+// is part of what these tests pin down.
+func buildFromSrc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	decl := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return BuildCFG(decl.Body, nil, nil)
+}
+
+// TestCFGConstruction pins the block/edge structure for each control
+// construct. The rendering is "bN kind -> succs [cond]" per block in
+// construction order; stability of this string is part of the
+// determinism contract (the dataflow iterates blocks by index).
+func TestCFGConstruction(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "straightline",
+			body: "x := 1\n_ = x",
+			want: `
+b0 entry -> b1
+b1 exit
+b2 halt
+`,
+		},
+		{
+			name: "if-no-else",
+			body: "if x() {\n y()\n}\nz()",
+			want: `
+b0 entry -> b3 b4 [x()]
+b1 exit
+b2 halt
+b3 if.then -> b4
+b4 if.done -> b1
+`,
+		},
+		{
+			name: "if-else-both-return",
+			body: "if x() {\n return\n} else {\n return\n}",
+			want: `
+b0 entry -> b3 b4 [x()]
+b1 exit
+b2 halt
+b3 if.then -> b1
+b4 if.else -> b1
+`,
+		},
+		{
+			name: "for-break-continue",
+			body: "for i := 0; i < n; i++ {\n if a() {\n  break\n }\n if b() {\n  continue\n }\n c()\n}",
+			want: `
+b0 entry -> b3
+b1 exit
+b2 halt
+b3 for.head -> b5 b4 [i < n]
+b4 for.done -> b1
+b5 for.body -> b7 b8 [a()]
+b6 for.post -> b3
+b7 if.then -> b4
+b8 if.done -> b9 b10 [b()]
+b9 if.then -> b6
+b10 if.done -> b6
+`,
+		},
+		{
+			name: "for-infinite-no-break",
+			body: "for {\n x()\n}",
+			want: `
+b0 entry -> b3
+b1 exit
+b2 halt
+b3 for.head -> b5
+b4 for.done -> b1
+b5 for.body -> b3
+`,
+		},
+		{
+			name: "labeled-break-nested",
+			body: "outer:\nfor {\n for {\n  break outer\n }\n}\ndone()",
+			want: `
+b0 entry -> b3
+b1 exit
+b2 halt
+b3 label.outer -> b4
+b4 for.head -> b6
+b5 for.done -> b1
+b6 for.body -> b7
+b7 for.head -> b9
+b8 for.done -> b4
+b9 for.body -> b5
+`,
+		},
+		{
+			name: "range",
+			body: "for _, v := range xs {\n use(v)\n}\nafter()",
+			want: `
+b0 entry -> b3
+b1 exit
+b2 halt
+b3 range.head -> b5 b4
+b4 range.done -> b1
+b5 range.body -> b3
+`,
+		},
+		{
+			name: "switch-fallthrough-default",
+			body: "switch x {\ncase 1:\n a()\n fallthrough\ncase 2:\n b()\ndefault:\n c()\n}",
+			want: `
+b0 entry -> b4 b5 b6
+b1 exit
+b2 halt
+b3 switch.done -> b1
+b4 switch.case -> b5
+b5 switch.case -> b3
+b6 switch.default -> b3
+`,
+		},
+		{
+			name: "switch-no-default",
+			body: "switch x {\ncase 1:\n a()\n}",
+			want: `
+b0 entry -> b4 b3
+b1 exit
+b2 halt
+b3 switch.done -> b1
+b4 switch.case -> b3
+`,
+		},
+		{
+			name: "select-with-default",
+			body: "select {\ncase v := <-ch:\n use(v)\ndefault:\n idle()\n}",
+			want: `
+b0 entry -> b4 b5
+b1 exit
+b2 halt
+b3 select.done -> b1
+b4 select.case -> b3
+b5 select.default -> b3
+`,
+		},
+		{
+			name: "goto-forward",
+			body: "if x() {\n goto out\n}\ny()\nout:\nz()",
+			want: `
+b0 entry -> b4 b5 [x()]
+b1 exit
+b2 halt
+b3 label.out -> b1
+b4 if.then -> b3
+b5 if.done -> b3
+`,
+		},
+		{
+			name: "panic-routes-to-halt",
+			body: "if x() {\n panic(\"boom\")\n}\ny()",
+			want: `
+b0 entry -> b3 b4 [x()]
+b1 exit
+b2 halt
+b3 if.then -> b2
+b4 if.done -> b1
+`,
+		},
+		{
+			name: "os-exit-routes-to-halt",
+			body: "os.Exit(1)\nunreached()",
+			want: `
+b0 entry -> b2
+b1 exit
+b2 halt
+b3 dead -> b1
+`,
+		},
+		{
+			name: "defer-stays-in-block",
+			body: "defer f.Close()\nwork()",
+			want: `
+b0 entry -> b1
+b1 exit
+b2 halt
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := buildFromSrc(t, tc.body).String()
+			want := strings.TrimPrefix(tc.want, "\n")
+			if got != want {
+				t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestCFGExitReachable pins the no-return detection the noreturn
+// fixpoint builds on: a function whose every path panics or exits never
+// reaches Exit, and an unbreakable for{} loop does not either.
+func TestCFGExitReachable(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"plain-return", "return", true},
+		{"always-panic", "panic(\"x\")", false},
+		{"always-exit", "os.Exit(2)", false},
+		{"log-fatal", "log.Fatalf(\"x\")", false},
+		{"one-path-survives", "if x() {\n panic(\"x\")\n}", true},
+		{"infinite-loop", "for {\n spin()\n}", false},
+		{"loop-with-break", "for {\n if x() {\n  break\n }\n}", true},
+		{"panic-in-loop-body", "for i := 0; i < n; i++ {\n panic(\"x\")\n}", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := buildFromSrc(t, tc.body).ExitReachable(); got != tc.want {
+				t.Errorf("ExitReachable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGBlockNodesShallow verifies blocks hold only shallow nodes: an
+// if's body statements live in the then-block, not the condition block.
+func TestCFGBlockNodesShallow(t *testing.T) {
+	c := buildFromSrc(t, "a()\nif x() {\n b()\n}")
+	entry := c.Entry
+	if len(entry.Nodes) != 2 { // a() and the if condition
+		t.Fatalf("entry holds %d nodes, want 2 (call + cond)", len(entry.Nodes))
+	}
+	if _, ok := entry.Nodes[0].(*ast.ExprStmt); !ok {
+		t.Errorf("entry node 0 is %T, want *ast.ExprStmt", entry.Nodes[0])
+	}
+	if _, ok := entry.Nodes[1].(ast.Expr); !ok {
+		t.Errorf("entry node 1 is %T, want the bare condition expression", entry.Nodes[1])
+	}
+}

@@ -111,6 +111,11 @@ func Checks() []*Check {
 		AllocloopCheck,
 		BoxingCheck,
 		RetainCheck,
+		CloseleakCheck,
+		BodycloseCheck,
+		CancelleakCheck,
+		TickleakCheck,
+		DeferhotCheck,
 		StaleallowCheck,
 	}
 }

@@ -39,6 +39,11 @@ var goldenCases = []struct {
 	{"allocloop", []*Check{AllocloopCheck}, "repro/internal/allocloop"},
 	{"boxing", []*Check{BoxingCheck}, "repro/internal/boxing"},
 	{"retain", []*Check{RetainCheck}, "repro/internal/retain"},
+	{"closeleak", []*Check{CloseleakCheck}, "repro/internal/closeleak"},
+	{"bodyclose", []*Check{BodycloseCheck}, "repro/internal/bodyclose"},
+	{"cancelleak", []*Check{CancelleakCheck}, "repro/internal/cancelleak"},
+	{"tickleak", []*Check{TickleakCheck}, "repro/internal/tickleak"},
+	{"deferhot", []*Check{DeferhotCheck}, "repro/internal/deferhot"},
 	{"staleallow", []*Check{WalltimeCheck, StaleallowCheck}, "repro/internal/staleallowtest"},
 }
 

@@ -1,0 +1,114 @@
+// Package bodyclose exercises response-body tracking: any call with a
+// *http.Response result owns the body until Body.Close (or a handoff).
+package bodyclose
+
+import (
+	"io"
+	"net/http"
+)
+
+// leak reads the status and drops the body.
+func leak(u string) (int, error) {
+	resp, err := http.Get(u) // want `response body resp from http\.Get may not be released on every path \(want Body\.Close\)`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// deferred is the canonical clean shape.
+func deferred(u string) (int, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// drained reads the body and closes explicitly: clean. io.ReadAll is an
+// unknown callee to the analysis, so reading alone would not count —
+// the Close does.
+func drained(u string) ([]byte, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	return b, err
+}
+
+// readNoClose reads but never closes: reading is not releasing.
+func readNoClose(u string) ([]byte, error) {
+	resp, err := http.Get(u) // want `response body resp from http\.Get may not be released on every path \(want Body\.Close\)`
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// bodyAlias closes through a bound body variable: clean.
+func bodyAlias(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	b := resp.Body
+	return b.Close()
+}
+
+// clientDo tracks method calls too, not just package functions.
+func clientDo(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req) // want `response body resp from c\.Do may not be released on every path \(want Body\.Close\)`
+	if err != nil {
+		return err
+	}
+	_ = resp.Status
+	return nil
+}
+
+// finish is a helper that consumes a response; its closer summary
+// transfers ownership at the call site.
+func finish(resp *http.Response) {
+	if resp != nil {
+		_ = resp.Body.Close()
+	}
+}
+
+// viaHelper hands the response to finish: clean.
+func viaHelper(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	finish(resp)
+	return nil
+}
+
+// transfer returns the response: the caller owns the body.
+func transfer(u string) (*http.Response, error) {
+	return http.Get(u)
+}
+
+// condLeak closes only when asked to.
+func condLeak(u string, keep bool) error {
+	resp, err := http.Get(u) // want `response body resp from http\.Get may not be released on every path \(want Body\.Close\)`
+	if err != nil {
+		return err
+	}
+	if !keep {
+		return resp.Body.Close()
+	}
+	return nil
+}
+
+// allowed documents an intentional retention.
+func allowed(u string) *http.Response {
+	resp, err := http.Get(u) //detlint:allow bodyclose -- handed to the streaming pipeline below
+	if err != nil {
+		return nil
+	}
+	_ = resp.Status
+	return nil
+}

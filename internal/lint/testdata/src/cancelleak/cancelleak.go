@@ -1,0 +1,71 @@
+// Package cancelleak exercises cancel-function tracking: the func value
+// returned by context.With* must be called on every path.
+package cancelleak
+
+import (
+	"context"
+	"time"
+)
+
+// leak forgets cancel on the early-return path.
+func leak(ctx context.Context, fast bool) error {
+	ctx2, cancel := context.WithTimeout(ctx, time.Second) // want `cancel function cancel from context\.WithTimeout may not be released on every path \(want a call to the cancel function\)`
+	if fast {
+		return nil
+	}
+	defer cancel()
+	return work(ctx2)
+}
+
+// deferred is the canonical clean shape.
+func deferred(ctx context.Context) error {
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(ctx2)
+}
+
+// explicit calls cancel on every path: clean.
+func explicit(ctx context.Context, b bool) error {
+	ctx2, cancel := context.WithDeadline(ctx, time.Time{})
+	if b {
+		cancel()
+		return nil
+	}
+	err := work(ctx2)
+	cancel()
+	return err
+}
+
+// discarded drops the cancel func at the binding.
+func discarded(ctx context.Context) context.Context {
+	ctx2, _ := context.WithCancel(ctx) // want `cancel function from context\.WithCancel is discarded: the result is never bound, so it can never be released \(want a call to the cancel function\)`
+	return ctx2
+}
+
+// transferred returns the cancel func: the caller owns it.
+func transferred(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx2, cancel := context.WithCancel(ctx)
+	return ctx2, cancel
+}
+
+// captured hands cancel to a goroutine: ownership moves out of frame.
+func captured(ctx context.Context, done <-chan struct{}) context.Context {
+	ctx2, cancel := context.WithCancel(ctx)
+	go func() {
+		<-done
+		cancel()
+	}()
+	return ctx2
+}
+
+// allowed is a process-lifetime context, silenced with a rationale.
+func allowed(ctx context.Context) context.Context {
+	ctx2, cancel := context.WithCancel(ctx) //detlint:allow cancelleak -- root context lives until shutdown
+	_ = cancel
+	return ctx2
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

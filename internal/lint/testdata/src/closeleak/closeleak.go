@@ -1,0 +1,165 @@
+// Package closeleak exercises the must-release dataflow for files,
+// connections, and listeners.
+package closeleak
+
+import (
+	"net"
+	"os"
+)
+
+// leak never closes the file on the success path.
+func leak(p string) error {
+	f, err := os.Open(p) // want `file f from os\.Open may not be released on every path \(want Close\)`
+	if err != nil {
+		return err
+	}
+	_ = f
+	return nil
+}
+
+// deferred closes via defer: clean.
+func deferred(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// branches closes on every path explicitly: clean.
+func branches(p string, long bool) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	if long {
+		_ = f.Close()
+		return nil
+	}
+	return f.Close()
+}
+
+// condLeak closes on one branch only.
+func condLeak(p string, b bool) error {
+	f, err := os.Open(p) // want `file f from os\.Open may not be released on every path \(want Close\)`
+	if err != nil {
+		return err
+	}
+	if b {
+		return f.Close()
+	}
+	return nil
+}
+
+// transferReturn hands the open file to the caller: clean here.
+func transferReturn(p string) (*os.File, error) {
+	return os.Open(p)
+}
+
+// transferBound returns the bound variable: clean.
+func transferBound(p string) *os.File {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil
+	}
+	return f
+}
+
+// holder keeps a file.
+type holder struct{ f *os.File }
+
+// transferStore stores the file in a struct: ownership moves.
+func transferStore(p string, h *holder) {
+	f, err := os.Open(p)
+	if err != nil {
+		return
+	}
+	h.f = f
+}
+
+// closeIt is a closer helper: its summary records that it releases its
+// argument.
+func closeIt(f *os.File) {
+	if f != nil {
+		_ = f.Close()
+	}
+}
+
+// viaHelper releases through the closer summary: clean.
+func viaHelper(p string) {
+	f, err := os.Open(p)
+	if err != nil {
+		return
+	}
+	closeIt(f)
+}
+
+// connLeak dials and drops the connection on the early path.
+func connLeak(addr string, ping bool) error {
+	c, err := net.Dial("tcp", addr) // want `connection c from net\.Dial may not be released on every path \(want Close\)`
+	if err != nil {
+		return err
+	}
+	if ping {
+		return nil
+	}
+	return c.Close()
+}
+
+// discard never binds the file at all.
+func discard(p string) {
+	_, _ = os.Open(p) // want `file from os\.Open is discarded: the result is never bound, so it can never be released \(want Close\)`
+}
+
+// allowed is a justified leak, silenced with a rationale.
+func allowed(p string) *os.File {
+	f, _ := os.Open(p) //detlint:allow closeleak -- lives until process exit by design
+	if f == nil {
+		return nil
+	}
+	_ = f
+	return nil
+}
+
+// aliasClose closes through a second binding: clean.
+func aliasClose(p string) {
+	f, err := os.Open(p)
+	if err != nil {
+		return
+	}
+	g := f
+	_ = g.Close()
+}
+
+// loopClose reopens per iteration and closes before looping: clean.
+func loopClose(ps []string) {
+	for _, p := range ps {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		_ = f.Close()
+	}
+}
+
+// loopLeak reopens per iteration without closing.
+func loopLeak(ps []string) {
+	for _, p := range ps {
+		f, err := os.Open(p) // want `file f from os\.Open may not be released on every path \(want Close\)`
+		if err != nil {
+			continue
+		}
+		_ = f
+	}
+}
+
+// haltPath exits the process while holding the file: reaching Halt is
+// not a leak, so this stays clean.
+func haltPath(p string) *os.File {
+	f, err := os.Open(p)
+	if err != nil {
+		os.Exit(1)
+	}
+	return f
+}

@@ -1,0 +1,75 @@
+// Package tickleak exercises ticker/timer tracking: NewTicker wants
+// Stop, NewTimer wants Stop or a drain of C.
+package tickleak
+
+import "time"
+
+// leak starts a ticker and abandons it after one beat.
+func leak(ch chan<- int) {
+	t := time.NewTicker(time.Second) // want `ticker t from time\.NewTicker may not be released on every path \(want Stop\)`
+	<-t.C
+	ch <- 1
+}
+
+// deferred stops via defer: clean.
+func deferred(n int, ch chan<- int) {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for i := 0; i < n; i++ {
+		<-t.C
+		ch <- i
+	}
+}
+
+// condLeak stops on one path only.
+func condLeak(b bool) {
+	t := time.NewTicker(time.Second) // want `ticker t from time\.NewTicker may not be released on every path \(want Stop\)`
+	if b {
+		t.Stop()
+	}
+}
+
+// timerDrained receives from C: for timers that releases (the timer has
+// fired, nothing is pending), so this is clean.
+func timerDrained() {
+	t := time.NewTimer(time.Second)
+	<-t.C
+}
+
+// timerLeak never stops or drains.
+func timerLeak(ch <-chan int) int {
+	t := time.NewTimer(time.Second) // want `timer t from time\.NewTimer may not be released on every path \(want Stop \(or draining C\)\)`
+	select {
+	case v := <-ch:
+		return v
+	default:
+		_ = t
+		return 0
+	}
+}
+
+// timerSelect stops or drains on each select arm: clean.
+func timerSelect(ch <-chan int) int {
+	t := time.NewTimer(time.Second)
+	select {
+	case v := <-ch:
+		t.Stop()
+		return v
+	case <-t.C:
+		return -1
+	}
+}
+
+// pulse keeps a ticker.
+type pulse struct{ t *time.Ticker }
+
+// stored transfers the ticker into a struct: clean here.
+func stored(p *pulse) {
+	p.t = time.NewTicker(time.Second)
+}
+
+// allowed is a deliberate process-lifetime ticker.
+func allowed() {
+	t := time.NewTicker(time.Second) //detlint:allow tickleak -- heartbeat runs until process exit
+	_ = t
+}

@@ -10,7 +10,61 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
+
+// Every profile started through this package is tracked until its stop
+// function runs, so a fatal path that cannot reach the caller's stop
+// can still flush everything with StopAll before os.Exit. Stops are
+// idempotent: calling one after StopAll (or twice) is a no-op.
+var (
+	activeMu sync.Mutex
+	active   []*activeProfile
+)
+
+type activeProfile struct{ stop func() }
+
+// registerStop tracks raw and returns the idempotent public stop.
+func registerStop(raw func()) func() {
+	p := &activeProfile{stop: raw}
+	activeMu.Lock()
+	active = append(active, p)
+	activeMu.Unlock()
+	return func() { releaseProfile(p) }
+}
+
+// releaseProfile runs p's stop if it is still outstanding.
+func releaseProfile(p *activeProfile) {
+	activeMu.Lock()
+	var fn func()
+	for i, q := range active {
+		if q == p {
+			fn = q.stop
+			active = append(active[:i], active[i+1:]...)
+			break
+		}
+	}
+	activeMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// StopAll stops every profile still running, in start order. Command
+// front-ends call it from their fatal helpers so a run that dies between
+// StartCPU and its explicit stop still writes a valid profile.
+func StopAll() {
+	activeMu.Lock()
+	fns := make([]func(), len(active))
+	for i, p := range active {
+		fns[i] = p.stop
+	}
+	active = nil
+	activeMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
 
 // StartCPU begins a CPU profile into path and returns the function that
 // stops it and closes the file. With path == "" it is a no-op and the
@@ -27,10 +81,10 @@ func StartCPU(path string) (stop func(), err error) {
 		_ = f.Close()
 		return nil, fmt.Errorf("profiling: %w", err)
 	}
-	return func() {
+	return registerStop(func() {
 		pprof.StopCPUProfile()
 		_ = f.Close()
-	}, nil
+	}), nil
 }
 
 // WriteHeap forces a GC (so the profile reflects live objects, not

@@ -1,8 +1,8 @@
 package webgen
 
 import (
-	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/simnet"
 )
@@ -114,11 +114,14 @@ func ThirdPartyDirectory(seed int64, nTrackers, nBenign int) []ThirdParty {
 	seen := make(map[string]bool)
 	adKinds := []string{"ads", "analytics"}
 	for len(out) < nTrackers {
-		d := fmt.Sprintf("%s%s%d.%s",
-			trackerFirst[rng.Intn(len(trackerFirst))],
-			trackerSecond[rng.Intn(len(trackerSecond))],
-			rng.Intn(90)+10,
-			tpTLDs[rng.Intn(len(tpTLDs))])
+		// Concatenation instead of Sprintf: this runs per generated
+		// domain on the snapshot-rebuild path, and boxing the int arm
+		// was a recurring allocation. Operand order preserves the RNG
+		// draw sequence.
+		d := trackerFirst[rng.Intn(len(trackerFirst))] +
+			trackerSecond[rng.Intn(len(trackerSecond))] +
+			strconv.Itoa(rng.Intn(90)+10) + "." +
+			tpTLDs[rng.Intn(len(tpTLDs))]
 		if seen[d] {
 			continue
 		}
@@ -127,11 +130,10 @@ func ThirdPartyDirectory(seed int64, nTrackers, nBenign int) []ThirdParty {
 	}
 	benignKinds := []string{"social", "fonts", "jslib", "video", "widget", "misc"}
 	for len(out) < nTrackers+nBenign {
-		d := fmt.Sprintf("%s%s%d.%s",
-			benignFirst[rng.Intn(len(benignFirst))],
-			benignSecond[rng.Intn(len(benignSecond))],
-			rng.Intn(900)+100,
-			tpTLDs[rng.Intn(len(tpTLDs))])
+		d := benignFirst[rng.Intn(len(benignFirst))] +
+			benignSecond[rng.Intn(len(benignSecond))] +
+			strconv.Itoa(rng.Intn(900)+100) + "." +
+			tpTLDs[rng.Intn(len(tpTLDs))]
 		if seen[d] {
 			continue
 		}
@@ -174,20 +176,33 @@ var slugWords = []string{
 // pathFor returns a category-flavoured internal page path for page index
 // idx, stable across weeks.
 func pathFor(rng *rand.Rand, cat Category, idx int) string {
+	// Built by concatenation rather than Sprintf: pathFor runs once per
+	// page per build and the format-verb boxing showed up on the
+	// streaming hot path. Every branch is byte-for-byte what the old
+	// format string produced, with RNG draws in the same order.
 	w1 := slugWords[rng.Intn(len(slugWords))]
 	w2 := slugWords[rng.Intn(len(slugWords))]
 	switch cat {
 	case CatNews, CatSports:
-		return fmt.Sprintf("/%d/%02d/%s-%s-%d", 2019+rng.Intn(2), 1+rng.Intn(12), w1, w2, idx)
+		return "/" + strconv.Itoa(2019+rng.Intn(2)) + "/" + pad2(1+rng.Intn(12)) +
+			"/" + w1 + "-" + w2 + "-" + strconv.Itoa(idx)
 	case CatShopping:
-		return fmt.Sprintf("/product/%d/%s-%s", 10000+idx, w1, w2)
+		return "/product/" + strconv.Itoa(10000+idx) + "/" + w1 + "-" + w2
 	case CatReference:
-		return fmt.Sprintf("/wiki/%s_%s_%d", w1, w2, idx)
+		return "/wiki/" + w1 + "_" + w2 + "_" + strconv.Itoa(idx)
 	case CatSocial:
-		return fmt.Sprintf("/user%d/post/%d", rng.Intn(5000), 100000+idx)
+		return "/user" + strconv.Itoa(rng.Intn(5000)) + "/post/" + strconv.Itoa(100000+idx)
 	case CatEntertainment:
-		return fmt.Sprintf("/watch/%s-%s-%d", w1, w2, idx)
+		return "/watch/" + w1 + "-" + w2 + "-" + strconv.Itoa(idx)
 	default:
-		return fmt.Sprintf("/%s/%s-%d", w1, w2, idx)
+		return "/" + w1 + "/" + w2 + "-" + strconv.Itoa(idx)
 	}
+}
+
+// pad2 renders n like the %02d verb: zero-padded to two digits.
+func pad2(n int) string {
+	if n >= 0 && n < 10 {
+		return "0" + strconv.Itoa(n)
+	}
+	return strconv.Itoa(n)
 }

@@ -1,10 +1,10 @@
 package webgen
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/htmlx"
@@ -509,7 +509,7 @@ func (p *Page) assignHosts(rng *rand.Rand, m *PageModel, domTarget, cdnFrac floa
 			if rng.Float64() < 0.3 {
 				// Served from the provider's own hostname rather than the
 				// CNAMEd first-party subdomain.
-				o.Host = fmt.Sprintf("assets-%s.%s.net", shortLabel(s.Domain), prof.CDNProvider)
+				o.Host = "assets-" + shortLabel(s.Domain) + "." + prof.CDNProvider + ".net"
 			} else {
 				o.Host = staticHost
 			}
@@ -1052,36 +1052,36 @@ func objectPath(rng *rand.Rand, o *Object, pageIdx, i int) string {
 	u := pageIdx*1000 + i // unique-per-page identifier
 	switch o.Role {
 	case RoleCSS:
-		return fmt.Sprintf("/assets/css/style-%d.css", u)
+		return "/assets/css/style-" + strconv.Itoa(u) + ".css"
 	case RoleJS:
-		return fmt.Sprintf("/assets/js/app-%d.js", u)
+		return "/assets/js/app-" + strconv.Itoa(u) + ".js"
 	case RoleImage:
 		ext := [...]string{"jpg", "png", "webp", "gif"}[rng.Intn(4)]
-		return fmt.Sprintf("/img/photo-%d.%s", u, ext)
+		return "/img/photo-" + strconv.Itoa(u) + "." + ext
 	case RoleFont:
-		return fmt.Sprintf("/fonts/face-%d.woff2", u)
+		return "/fonts/face-" + strconv.Itoa(u) + ".woff2"
 	case RoleJSON:
-		return fmt.Sprintf("/api/data-%d.json", u)
+		return "/api/data-" + strconv.Itoa(u) + ".json"
 	case RoleMedia:
-		return fmt.Sprintf("/media/clip-%d.mp4", u)
+		return "/media/clip-" + strconv.Itoa(u) + ".mp4"
 	case RoleData:
-		return fmt.Sprintf("/static/blob-%d.txt", u)
+		return "/static/blob-" + strconv.Itoa(u) + ".txt"
 	case RoleIframe:
-		return fmt.Sprintf("/embed/frame-%d", u)
+		return "/embed/frame-" + strconv.Itoa(u)
 	case RoleBeacon:
 		if o.Tracker {
-			return fmt.Sprintf("/pixel?id=%d", u)
+			return "/pixel?id=" + strconv.Itoa(u)
 		}
 		// First-party or benign telemetry: not on filter lists.
-		return fmt.Sprintf("/telemetry/collect?v=%d", u)
+		return "/telemetry/collect?v=" + strconv.Itoa(u)
 	case RoleAdJS:
-		return fmt.Sprintf("/ads/tag-%d.js", u)
+		return "/ads/tag-" + strconv.Itoa(u) + ".js"
 	case RoleAdImage:
-		return fmt.Sprintf("/ads/creative-%d.jpg", u)
+		return "/ads/creative-" + strconv.Itoa(u) + ".jpg"
 	case RoleBid:
-		return fmt.Sprintf("/track?bid=%d", u)
+		return "/track?bid=" + strconv.Itoa(u)
 	default:
-		return fmt.Sprintf("/static/obj-%d", u)
+		return "/static/obj-" + strconv.Itoa(u)
 	}
 }
 

@@ -54,6 +54,6 @@ func (p *Page) RedirectsToInsecure() (string, bool) {
 		return "", false
 	}
 	// The careers-site pattern: a different registrable domain, HTTP.
-	target := fmt.Sprintf("http://%s-jobs.net%s", shortLabel(p.Site.Domain), p.Path())
+	target := "http://" + shortLabel(p.Site.Domain) + "-jobs.net" + p.Path()
 	return target, true
 }

@@ -8,7 +8,7 @@ package webgen
 // before revisits existed.
 
 import (
-	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -40,7 +40,10 @@ func assignValidators(m *PageModel) {
 		}
 		h := fnv64(o.URL)
 		o.MaxAgeSecs = maxAgeFor(o.Role, h)
-		o.ETag = fmt.Sprintf("%q", fmt.Sprintf("%08x-%x", uint32(h), o.Size))
+		// strconv renders what the old %q-of-%08x-%x pair produced, with
+		// no format-verb boxing; ETags are minted per cacheable object
+		// on every page build.
+		o.ETag = strconv.Quote(hex8(uint32(h)) + "-" + strconv.FormatInt(o.Size, 16))
 		// Last modified up to ~90 days before the study window.
 		age := time.Duration(1+h%(90*24*3600)) * time.Second
 		o.LastModified = validatorEpoch.Add(-age).UTC().Format(httpTimeFormat)
@@ -86,8 +89,17 @@ func (o *Object) CacheControl(idx int) string {
 	case o.MaxAgeSecs <= 0:
 		return ""
 	case o.MaxAgeSecs >= 31536000:
-		return fmt.Sprintf("public, max-age=%d, immutable", o.MaxAgeSecs)
+		return "public, max-age=" + strconv.Itoa(o.MaxAgeSecs) + ", immutable"
 	default:
-		return fmt.Sprintf("public, max-age=%d", o.MaxAgeSecs)
+		return "public, max-age=" + strconv.Itoa(o.MaxAgeSecs)
 	}
+}
+
+// hex8 renders v like the %08x verb: zero-padded 8-digit lowercase hex.
+func hex8(v uint32) string {
+	s := strconv.FormatUint(uint64(v), 16)
+	for len(s) < 8 {
+		s = "0" + s
+	}
+	return s
 }
